@@ -1,0 +1,173 @@
+package wlansim_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wlansim"
+)
+
+// Tests of the public API surface: everything a downstream user touches must
+// be reachable through the root package aliases.
+
+func TestAPITransmitterAndReceiver(t *testing.T) {
+	tx, err := wlansim.NewTransmitter(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := tx.Transmit([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, 300+len(frame.Samples)+200)
+	copy(x[300:], frame.Samples)
+	wlansim.AddNoiseSNR(x, 25, 1)
+
+	rx := wlansim.NewPacketReceiver()
+	res, err := rx.Receive(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Signal.Mode.RateMbps != 24 {
+		t.Errorf("decoded rate %d", res.Signal.Mode.RateMbps)
+	}
+	for i, b := range frame.PSDU {
+		if res.PSDU[i] != b {
+			t.Fatalf("payload byte %d differs", i)
+		}
+	}
+	// Diagnostics exposed.
+	if res.LinkSNRdB < 15 || res.LinkSNRdB > 35 {
+		t.Errorf("link SNR %v dB at true 25 dB", res.LinkSNRdB)
+	}
+	ev, err := wlansim.EVM(res.EqualizedCarriers, frame.Mode.Modulation)
+	if err != nil || ev.RMS <= 0 {
+		t.Errorf("EVM %v err %v", ev, err)
+	}
+}
+
+func TestAPIModesAndMask(t *testing.T) {
+	if len(wlansim.Modes) != 8 {
+		t.Errorf("%d modes", len(wlansim.Modes))
+	}
+	m, err := wlansim.ModeByRate(54)
+	if err != nil || m.NDBPS() != 216 {
+		t.Errorf("54 Mbps mode lookup: %v %v", m, err)
+	}
+	mask := wlansim.TransmitMask()
+	if mask.LimitDBr(20e6) != -28 {
+		t.Errorf("mask at 20 MHz = %v", mask.LimitDBr(20e6))
+	}
+}
+
+func TestAPIRFCascadeAndCharacterizer(t *testing.T) {
+	cfg := wlansim.DefaultReceiverConfig(1)
+	rx, err := wlansim.NewRFReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cas, err := rx.Cascade()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cas.GainDB-33) > 0.1 {
+		t.Errorf("cascade gain %v", cas.GainDB)
+	}
+	// The Friis sensitivity estimate lands at the paper's -88 dBm corner.
+	if s := cas.SensitivityDBm(20e6, 10); math.Abs(s-(-88.1)) > 0.5 {
+		t.Errorf("sensitivity %v dBm, want ~-88.1", s)
+	}
+	// Tone-test characterization agrees with the configuration.
+	bench := wlansim.NewCharacterizer(cfg.SampleRateHz)
+	lna, err := wlansim.NewAmplifier(cfg.LNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := bench.Characterize(lna)
+	if math.Abs(rep.GainDB-cfg.LNA.GainDB) > 0.3 {
+		t.Errorf("characterized gain %v", rep.GainDB)
+	}
+	if !strings.Contains(rep.String(), "P1dB") {
+		t.Error("report formatting")
+	}
+}
+
+func TestAPIChannelModels(t *testing.T) {
+	mp, err := wlansim.NewRayleighChannel(4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]complex128, 100)
+	x[0] = 1
+	mp.Process(x)
+
+	fc, err := wlansim.NewFadingChannel(3, 2, 100, 20e6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.Process(make([]complex128, 100))
+
+	sco, err := wlansim.NewSampleClockOffset(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := sco.Process(make([]complex128, 1000)); len(out) < 995 || len(out) > 1005 {
+		t.Errorf("SCO output %d samples", len(out))
+	}
+
+	comp, err := wlansim.NewComposer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make([]complex128, 64)
+	for i := range sig {
+		sig[i] = 1
+	}
+	if _, err := comp.Compose([]wlansim.Emitter{{Samples: sig, PowerDBm: -50, OffsetHz: 20e6}}); err != nil {
+		t.Errorf("compose: %v", err)
+	}
+}
+
+func TestAPISystemGraph(t *testing.T) {
+	cfg := wlansim.DefaultConfig()
+	cfg.Packets = 1
+	cfg.PSDULen = 40
+	bench, err := wlansim.NewBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := bench.BuildSystemGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER() != 0 {
+		t.Errorf("graph run BER %v", res.BER())
+	}
+}
+
+func TestAPIInputRangeAndSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	base := wlansim.DefaultConfig()
+	base.Packets = 2
+	base.PSDULen = 60
+	res, err := wlansim.InputRangeCheck(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass() {
+		t.Errorf("input range: %v", res)
+	}
+}
+
+func TestAPIStandardsTable(t *testing.T) {
+	if !strings.Contains(wlansim.StandardsTableText(), "802.11a") {
+		t.Error("standards table missing 802.11a")
+	}
+}

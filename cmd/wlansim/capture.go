@@ -1,0 +1,135 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"wlansim/internal/bits"
+	"wlansim/internal/channel"
+	"wlansim/internal/core"
+	"wlansim/internal/measure"
+	"wlansim/internal/phy"
+	"wlansim/internal/rxdsp"
+	"wlansim/internal/trace"
+)
+
+// cmdCapture synthesizes a baseband capture (packets + optional impairments)
+// and stores it as a trace file — the SPW flow's waveform-file equivalent.
+func cmdCapture(args []string) error {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	out := fs.String("out", "capture.iq", "output trace file")
+	rate := fs.Int("rate", 24, "data rate (Mbps)")
+	packets := fs.Int("packets", 3, "number of packets")
+	length := fs.Int("len", 100, "PSDU length (octets)")
+	snr := fs.Float64("snr", 0, "channel SNR in dB (0 = noiseless)")
+	cfo := fs.Float64("cfo", 0, "carrier frequency offset (Hz)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tx, err := phy.NewTransmitter(*rate)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	var x []complex128
+	x = append(x, make([]complex128, 500)...)
+	for p := 0; p < *packets; p++ {
+		tx.ScramblerSeed = byte(1 + rng.Intn(127))
+		frame, err := tx.Transmit(bits.RandomBytes(rng, *length))
+		if err != nil {
+			return err
+		}
+		x = append(x, frame.Samples...)
+		x = append(x, make([]complex128, 400)...)
+	}
+	if *cfo != 0 {
+		channel.NewCFO(*cfo, phy.SampleRate, rng.Float64()).Process(x)
+	}
+	if *snr != 0 {
+		channel.AddNoiseSNR(x, *snr, rng.Int63())
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr := trace.Header{
+		SampleRateHz:      phy.SampleRate,
+		CenterFrequencyHz: phy.CarrierFrequency,
+		Description: fmt.Sprintf("wlansim capture: %d x %d-byte packets at %d Mbps, seed %d",
+			*packets, *length, *rate, *seed),
+	}
+	if err := trace.Write(f, hdr, x); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d samples at %.0f MHz\n", *out, len(x), phy.SampleRate/1e6)
+	return nil
+}
+
+// cmdDecode loads a trace file, decodes every packet in it and reports
+// per-packet diagnostics (the signalscan/SigCalc-style inspection step).
+func cmdDecode(args []string) error {
+	fs := flag.NewFlagSet("decode", flag.ExitOnError)
+	in := fs.String("in", "capture.iq", "input trace file")
+	psd := fs.Bool("psd", false, "also print a coarse PSD of the capture")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr, x, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d samples at %.0f MHz", *in, hdr.Samples, hdr.SampleRateHz/1e6)
+	if hdr.Description != "" {
+		fmt.Printf(" (%s)", hdr.Description)
+	}
+	fmt.Println()
+
+	results := rxdsp.NewReceiver().ReceiveAll(x)
+	if len(results) == 0 {
+		fmt.Println("no packets decoded")
+	}
+	for i, res := range results {
+		ev, _ := measure.EVM(res.EqualizedCarriers, res.Signal.Mode.Modulation)
+		fmt.Printf("  #%d @%6d: %-26s len %4d B, CFO %+7.1f kHz, SNR %5.1f dB, EVM %5.2f%%\n",
+			i+1, res.Detection.StartIndex, res.Signal.Mode.String(), res.Signal.Length,
+			res.CFO*hdr.SampleRateHz/1e3, res.LinkSNRdB, ev.Percent())
+	}
+
+	if *psd {
+		p, err := measure.NewSpectrum().Analyze(x, hdr.SampleRateHz)
+		if err != nil {
+			return err
+		}
+		series := measure.SeriesDBm(p, hdr.CenterFrequencyHz, 24)
+		for _, pt := range series.Points {
+			fmt.Printf("  %.4f GHz  %7.1f dBm/Hz\n", pt.X/1e9, pt.Y)
+		}
+	}
+	return nil
+}
+
+// writeGraphDOT exports the scenario's block diagram as Graphviz DOT.
+func writeGraphDOT(sys *core.SystemGraph, path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := sys.Graph.WriteDOT(f); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return nil
+}

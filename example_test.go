@@ -1,0 +1,80 @@
+package wlansim_test
+
+import (
+	"fmt"
+	"log"
+
+	"wlansim"
+)
+
+// The smallest complete measurement: one packet through the ideal front end.
+func Example() {
+	cfg := wlansim.DefaultConfig()
+	cfg.FrontEnd = wlansim.FrontEndIdeal
+	cfg.Packets = 1
+	cfg.PSDULen = 40
+	bench, err := wlansim.NewBench(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bench.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Counter.String())
+	// Output:
+	// BER 0 (0/320 bits), PER 0 (0/1 packets, 0 lost)
+}
+
+// Transmit and decode a single frame directly with the PHY layer.
+func ExampleTransmitter() {
+	tx, err := wlansim.NewTransmitter(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tx.ScramblerSeed = 0x11
+	frame, err := tx.Transmit([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := make([]complex128, 300+len(frame.Samples)+100)
+	copy(x[300:], frame.Samples)
+
+	res, err := wlansim.NewPacketReceiver().Receive(x, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s, %d bytes: % X\n", res.Signal.Mode, res.Signal.Length, res.PSDU)
+	// Output:
+	// 6 Mbps (BPSK, rate 1/2), 4 bytes: DE AD BE EF
+}
+
+// Friis cascade analysis of the paper's double-conversion line-up.
+func ExampleCascade() {
+	res, err := wlansim.Cascade([]wlansim.CascadeStage{
+		{Name: "LNA", GainDB: 18, NoiseFigureDB: 2.5, IIP3DBm: -0.36},
+		{Name: "MIX1", GainDB: 9, NoiseFigureDB: 9, IIP3DBm: 100},
+		{Name: "MIX2", GainDB: 6, NoiseFigureDB: 12, IIP3DBm: 100},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gain %.1f dB, NF %.2f dB\n", res.GainDB, res.NoiseFigureDB)
+	fmt.Printf("sensitivity %.1f dBm\n", res.SensitivityDBm(20e6, 10))
+	// Output:
+	// gain 33.0 dB, NF 2.83 dB
+	// sensitivity -88.1 dBm
+}
+
+// The clause-17 transmit spectral mask as a lookup.
+func ExampleSpectrumMask() {
+	mask := wlansim.TransmitMask()
+	for _, off := range []float64{0, 11e6, 20e6, 30e6} {
+		fmt.Printf("%2.0f MHz: %5.1f dBr\n", off/1e6, mask.LimitDBr(off))
+	}
+	// Output:
+	//  0 MHz:   0.0 dBr
+	// 11 MHz: -20.0 dBr
+	// 20 MHz: -28.0 dBr
+	// 30 MHz: -40.0 dBr
+}

@@ -1,0 +1,86 @@
+// Receiver diagnostics: decode a burst of packets from one capture with the
+// stream receiver, report per-packet link quality (SNR estimate, CFO, EVM),
+// check the transmit waveform against the clause-17 spectral mask, and
+// print the per-impairment EVM budget of the RF front end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"wlansim"
+)
+
+func main() {
+	// Build a capture with three packets at different rates and a CFO.
+	rng := rand.New(rand.NewSource(7))
+	var capture []complex128
+	capture = append(capture, make([]complex128, 400)...)
+	var sent [][]byte
+	for _, rate := range []int{6, 24, 54} {
+		tx, err := wlansim.NewTransmitter(rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		psdu := make([]byte, 80)
+		rng.Read(psdu)
+		frame, err := tx.Transmit(psdu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sent = append(sent, psdu)
+		capture = append(capture, frame.Samples...)
+		capture = append(capture, make([]complex128, 350)...)
+	}
+	wlansim.NewCFO(90e3, 20e6, 0.4).Process(capture)
+	wlansim.AddNoiseSNR(capture, 24, 8)
+
+	// Decode everything in one pass.
+	rx := wlansim.NewPacketReceiver()
+	results := rx.ReceiveAll(capture)
+	fmt.Printf("decoded %d packets from the capture:\n", len(results))
+	for i, res := range results {
+		errs := 0
+		for j := range sent[i] {
+			if j < len(res.PSDU) && res.PSDU[j] != sent[i][j] {
+				errs++
+			}
+		}
+		ev, _ := wlansim.EVM(res.EqualizedCarriers, res.Signal.Mode.Modulation)
+		fmt.Printf("  #%d: %-28s CFO %+6.1f kHz, link SNR %4.1f dB, EVM %5.2f%%, byte errors %d\n",
+			i+1, res.Signal.Mode.String(), res.CFO*20e6/1e3, res.LinkSNRdB, ev.Percent(), errs)
+	}
+
+	// Transmit-side verification: spectral mask on an oversampled burst.
+	tx, _ := wlansim.NewTransmitter(54)
+	frame, _ := tx.Transmit(make([]byte, 400))
+	// Oversample 4x via the library's composer so the mask region out to
+	// +-30 MHz is represented.
+	comp, _ := wlansim.NewComposer(4)
+	up, err := comp.Compose([]wlansim.Emitter{{Samples: frame.Samples, PowerDBm: -10}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	viol, err := wlansim.TransmitMask().CheckMask(up, 80e6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(viol) == 0 {
+		fmt.Println("\ntransmit spectral mask: PASS")
+	} else {
+		fmt.Printf("\ntransmit spectral mask: %d violations (first at %+.1f MHz, %.1f dB over)\n",
+			len(viol), viol[0].OffsetHz/1e6, viol[0].ExcessDB())
+	}
+
+	// RF impairment budget of the default front end.
+	base := wlansim.DefaultConfig()
+	base.Packets = 2
+	base.PSDULen = 60
+	rows, err := wlansim.EVMBudget(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nEVM budget of the behavioral front end:")
+	fmt.Print(wlansim.FormatEVMBudget(rows))
+}

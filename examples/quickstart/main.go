@@ -1,0 +1,52 @@
+// Quickstart: transmit one IEEE 802.11a packet, pass it through the
+// behavioral double-conversion RF receiver and the synchronizing DSP
+// receiver, and report BER and EVM — the smallest complete use of the
+// library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wlansim"
+)
+
+func main() {
+	// A scenario is one wanted 802.11a link at a chosen rate and receive
+	// power, plus the abstraction level of the analog front end.
+	cfg := wlansim.DefaultConfig()
+	cfg.RateMbps = 24
+	cfg.PSDULen = 256
+	cfg.Packets = 5
+	cfg.WantedPowerDBm = -62
+	cfg.FrontEnd = wlansim.FrontEndBehavioral
+
+	bench, err := wlansim.NewBench(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := bench.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("802.11a link at %d Mbps, %d dBm, front end: %s\n",
+		cfg.RateMbps, int(cfg.WantedPowerDBm), res.FrontEnd)
+	fmt.Println(res.Counter.String())
+	fmt.Println(res.EVM)
+
+	// The RF line-up behind the scenario, with its Friis cascade figures.
+	rxCfg := wlansim.DefaultReceiverConfig(1)
+	rx, err := wlansim.NewRFReceiver(rxCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cas, err := rx.Cascade()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nDouble-conversion receiver:", rx.BlockNames())
+	fmt.Println("Cascade:", cas)
+	fmt.Printf("Sensitivity estimate (20 MHz, 10 dB SNR): %.1f dBm\n",
+		cas.SensitivityDBm(20e6, 10))
+}

@@ -1,0 +1,3 @@
+module wlansim
+
+go 1.22

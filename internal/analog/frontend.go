@@ -1,0 +1,371 @@
+package analog
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wlansim/internal/dsp"
+	"wlansim/internal/units"
+)
+
+// NewCTChebyshevLowpass builds a continuous-time type-I Chebyshev low-pass
+// from second-order (and one first-order for odd orders) trapezoidal stages,
+// with the passband edge at edgeHz.
+func NewCTChebyshevLowpass(order int, edgeHz, rippleDB, sampleRateHz float64) (*CTCascade, error) {
+	if order < 1 {
+		return nil, fmt.Errorf("analog: filter order %d", order)
+	}
+	if edgeHz <= 0 || edgeHz >= sampleRateHz/2 {
+		return nil, fmt.Errorf("analog: edge %g Hz outside (0, fs/2)", edgeHz)
+	}
+	poles, eps := dsp.Chebyshev1AnalogPoles(order, rippleDB)
+	wc := 2 * math.Pi * edgeHz
+	var stages []Stage
+	// Pair conjugates (k and order-1-k); middle pole of odd orders is real.
+	for k := 0; k < order/2; k++ {
+		p := poles[k]
+		re, im := real(p)*wc, imag(p)*wc
+		a0 := re*re + im*im
+		a1 := -2 * re
+		// Unity DC gain per section: b0 = a0.
+		st, err := NewCTBiquad(a0, 0, 0, a0, a1, sampleRateHz)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, st)
+	}
+	if order%2 == 1 {
+		p := real(poles[order/2]) * wc
+		st, err := NewCTFirstOrder(-p, 0, -p, sampleRateHz)
+		if err != nil {
+			return nil, err
+		}
+		stages = append(stages, st)
+	}
+	gain := 1.0
+	if order%2 == 0 {
+		gain = 1 / math.Sqrt(1+eps*eps)
+	}
+	return NewCTCascade(gain, stages...), nil
+}
+
+// CTNonlinearAmp is a memoryless passband amplifier with a third-order
+// nonlinearity and hard clipping, acting on the real RF waveform (the analog
+// solver's LNA).
+type CTNonlinearAmp struct {
+	g     float64
+	a3    float64 // negative for compression
+	vClip float64 // output clip level
+	noise *rand.Rand
+	nsig  float64
+	seed  int64
+}
+
+// NewCTNonlinearAmp builds the LNA: gainDB small-signal power gain, input
+// 1 dB compression point (dBm, tone power), optional thermal noise with the
+// given noise figure over the solver bandwidth.
+func NewCTNonlinearAmp(gainDB, compressionDBm, noiseFigureDB, sampleRateHz float64, seed int64, enableNoise bool) (*CTNonlinearAmp, error) {
+	if sampleRateHz <= 0 {
+		return nil, fmt.Errorf("analog: amplifier sample rate %g", sampleRateHz)
+	}
+	a := &CTNonlinearAmp{g: units.DBToVoltageGain(gainDB), seed: seed}
+	// Passband cubic: y = a1 v + a3 v^3. For a tone of peak amplitude A the
+	// fundamental gain is a1 + (3/4) a3 A^2. 1 dB compression at tone power
+	// P1 (A^2 = 2 P1): (3/4)|a3| 2 P1 = a1 (1 - 10^(-1/20)).
+	p1 := units.DBmToWatts(compressionDBm)
+	k := 1 - math.Pow(10, -1.0/20)
+	a.a3 = -a.g * k / (1.5 * p1)
+	// Clip where the cubic's slope reaches zero: v = sqrt(a1/(3|a3|)).
+	vc := math.Sqrt(a.g / (3 * math.Abs(a.a3)))
+	a.vClip = a.g*vc + a.a3*vc*vc*vc
+	if enableNoise && noiseFigureDB > 0 {
+		f := units.DBToLinear(noiseFigureDB)
+		a.nsig = math.Sqrt(units.Boltzmann * units.RoomTemperature * (f - 1) * sampleRateHz / 2)
+		a.noise = rand.New(rand.NewSource(seed))
+	}
+	return a, nil
+}
+
+// Step amplifies one passband sample.
+func (a *CTNonlinearAmp) Step(v float64) float64 {
+	if a.noise != nil {
+		v += a.noise.NormFloat64() * a.nsig
+	}
+	y := a.g*v + a.a3*v*v*v
+	if y > a.vClip {
+		y = a.vClip
+	} else if y < -a.vClip {
+		y = -a.vClip
+	}
+	return y
+}
+
+// Reset reseeds the noise source.
+func (a *CTNonlinearAmp) Reset() {
+	if a.noise != nil {
+		a.noise = rand.New(rand.NewSource(a.seed))
+	}
+}
+
+// CTOscillator generates the LO waveform cos(2 pi f t + phi(t)) with Wiener
+// phase noise.
+type CTOscillator struct {
+	w, h  float64
+	phase float64
+	t     float64
+	sigma float64
+	rng   *rand.Rand
+	seed  int64
+}
+
+// NewCTOscillator builds an oscillator at freqHz with the given Lorentzian
+// linewidth.
+func NewCTOscillator(freqHz, linewidthHz, sampleRateHz float64, seed int64) (*CTOscillator, error) {
+	if sampleRateHz <= 0 || freqHz < 0 || linewidthHz < 0 {
+		return nil, fmt.Errorf("analog: oscillator parameters invalid")
+	}
+	o := &CTOscillator{
+		w: 2 * math.Pi * freqHz, h: 1 / sampleRateHz,
+		sigma: math.Sqrt(2 * math.Pi * linewidthHz / sampleRateHz),
+		seed:  seed,
+	}
+	o.rng = rand.New(rand.NewSource(seed))
+	return o, nil
+}
+
+// Next returns cos and -sin of the current LO phase and advances time.
+func (o *CTOscillator) Next() (cosv, msinv float64) {
+	ph := o.w*o.t + o.phase
+	o.t += o.h
+	if o.sigma > 0 {
+		o.phase += o.rng.NormFloat64() * o.sigma
+	}
+	return math.Cos(ph), -math.Sin(ph)
+}
+
+// Reset restarts the trajectory.
+func (o *CTOscillator) Reset() {
+	o.t, o.phase = 0, 0
+	o.rng = rand.New(rand.NewSource(o.seed))
+}
+
+// FrontEndConfig parameterizes the analog co-simulation receiver.
+type FrontEndConfig struct {
+	// InputRateHz is the complex-baseband rate of the incoming composite
+	// signal (20 MHz when no interferers are modeled).
+	InputRateHz float64
+	// SolverOversample is the analog step-rate multiplier over InputRateHz
+	// (default 32). The scaled RF carrier sits at SolverRate/4.
+	SolverOversample int
+	// LNAGainDB, LNACompressionDBm, LNANoiseFigureDB configure the LNA.
+	LNAGainDB         float64
+	LNACompressionDBm float64
+	LNANoiseFigureDB  float64
+	// DCBlockCornerHz is the inter-stage RC high-pass corner.
+	DCBlockCornerHz float64
+	// LOLinewidthHz adds phase noise to both conversions.
+	LOLinewidthHz float64
+	// IQGainImbalanceDB and IQPhaseErrorDeg skew the second (quadrature)
+	// conversion's Q rail, creating the finite image rejection of a real
+	// I/Q demodulator.
+	IQGainImbalanceDB float64
+	IQPhaseErrorDeg   float64
+	// DCOffsetDBm injects a static self-mixing DC term at the quadrature
+	// mixer output when EnableDC is set.
+	DCOffsetDBm float64
+	EnableDC    bool
+	// ChannelFilterOrder/EdgeHz/RippleDB configure the baseband Chebyshev.
+	ChannelFilterOrder    int
+	ChannelFilterEdgeHz   float64
+	ChannelFilterRippleDB float64
+	// OutputGainDB scales the baseband output (fixed gain; the system-level
+	// AGC/ADC stay in the digital domain for the co-simulation flow).
+	OutputGainDB float64
+	// EnableNoise turns the solver's noise sources on. The real AMS
+	// Designer could NOT run its noise functions in transient analysis
+	// (§4.3) — the default false reproduces that artifact; setting it true
+	// models the suggested Verilog-AMS random-function workaround.
+	EnableNoise bool
+	// Seed seeds all stochastic elements.
+	Seed int64
+}
+
+// DefaultFrontEndConfig mirrors rf.DefaultReceiverConfig for the analog
+// solver at the native 20 MHz input rate.
+func DefaultFrontEndConfig() FrontEndConfig {
+	return FrontEndConfig{
+		InputRateHz:           20e6,
+		SolverOversample:      32,
+		LNAGainDB:             18,
+		LNACompressionDBm:     -10,
+		LNANoiseFigureDB:      2.5,
+		DCBlockCornerHz:       150e3,
+		LOLinewidthHz:         50,
+		ChannelFilterOrder:    5,
+		ChannelFilterEdgeHz:   9.5e6,
+		ChannelFilterRippleDB: 0.5,
+		OutputGainDB:          15,
+		Seed:                  1,
+	}
+}
+
+// FrontEnd is the analog co-simulated double-conversion receiver. It
+// implements the same FrontEnd contract as rf.Receiver: complex baseband
+// composite in, 20 MHz complex baseband out.
+type FrontEnd struct {
+	cfg     FrontEndConfig
+	fs      float64 // solver rate
+	fc      float64 // scaled RF carrier
+	lna     *CTNonlinearAmp
+	lo1     *CTOscillator
+	lo2     *CTOscillator
+	hpf     *CTFirstOrder
+	lpfI    *CTCascade
+	lpfQ    *CTCascade
+	qGain   float64 // Q-rail amplitude skew (I/Q imbalance)
+	qCos    float64 // cos of the Q-rail phase error
+	qSin    float64 // sin of the Q-rail phase error
+	dc      float64 // self-mixing DC amplitude on the I rail
+	outGain float64
+	up      *dsp.Upsampler
+	carrier *CTOscillator // up-conversion carrier
+	decim   int
+	phase   int
+}
+
+// NewFrontEnd assembles the analog receiver.
+func NewFrontEnd(cfg FrontEndConfig) (*FrontEnd, error) {
+	if cfg.InputRateHz <= 0 {
+		return nil, fmt.Errorf("analog: input rate %g", cfg.InputRateHz)
+	}
+	if cfg.SolverOversample == 0 {
+		cfg.SolverOversample = 32
+	}
+	if cfg.SolverOversample < 8 {
+		return nil, fmt.Errorf("analog: solver oversample %d too small for the frequency plan", cfg.SolverOversample)
+	}
+	fe := &FrontEnd{cfg: cfg}
+	fe.fs = cfg.InputRateHz * float64(cfg.SolverOversample)
+	fe.fc = fe.fs / 4
+	var err error
+	if fe.lna, err = NewCTNonlinearAmp(cfg.LNAGainDB, cfg.LNACompressionDBm,
+		cfg.LNANoiseFigureDB, fe.fs, cfg.Seed+1, cfg.EnableNoise); err != nil {
+		return nil, err
+	}
+	if fe.lo1, err = NewCTOscillator(fe.fc/2, cfg.LOLinewidthHz, fe.fs, cfg.Seed+2); err != nil {
+		return nil, err
+	}
+	if fe.lo2, err = NewCTOscillator(fe.fc/2, cfg.LOLinewidthHz, fe.fs, cfg.Seed+3); err != nil {
+		return nil, err
+	}
+	if cfg.DCBlockCornerHz > 0 {
+		if fe.hpf, err = NewRCHighpass(cfg.DCBlockCornerHz, fe.fs); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.ChannelFilterOrder > 0 {
+		if fe.lpfI, err = NewCTChebyshevLowpass(cfg.ChannelFilterOrder,
+			cfg.ChannelFilterEdgeHz, cfg.ChannelFilterRippleDB, fe.fs); err != nil {
+			return nil, err
+		}
+		if fe.lpfQ, err = NewCTChebyshevLowpass(cfg.ChannelFilterOrder,
+			cfg.ChannelFilterEdgeHz, cfg.ChannelFilterRippleDB, fe.fs); err != nil {
+			return nil, err
+		}
+	}
+	fe.qGain = math.Pow(10, cfg.IQGainImbalanceDB/20)
+	theta := cfg.IQPhaseErrorDeg * math.Pi / 180
+	fe.qCos, fe.qSin = math.Cos(theta), math.Sin(theta)
+	if cfg.EnableDC {
+		fe.dc = units.DBmToAmplitude(cfg.DCOffsetDBm)
+	}
+	fe.outGain = units.DBToVoltageGain(cfg.OutputGainDB)
+	// A moderate interpolator suffices here: the envelope entering the
+	// solver is already band-limited and the channel-select Chebyshev
+	// removes interpolation images after downconversion. (The sharp
+	// default interpolator would triple the per-step cost.)
+	if fe.up, err = dsp.NewUpsampler(cfg.SolverOversample, 16*cfg.SolverOversample+1); err != nil {
+		return nil, err
+	}
+	if fe.carrier, err = NewCTOscillator(fe.fc, 0, fe.fs, 0); err != nil {
+		return nil, err
+	}
+	fe.decim = cfg.SolverOversample
+	return fe, nil
+}
+
+// SolverRateHz returns the analog integration rate.
+func (fe *FrontEnd) SolverRateHz() float64 { return fe.fs }
+
+// ScaledCarrierHz returns the scaled RF carrier used by the solver
+// (stands in for the 5.2 GHz carrier of the real design).
+func (fe *FrontEnd) ScaledCarrierHz() float64 { return fe.fc }
+
+// Process runs the composite baseband frame through the analog receiver and
+// returns the baseband output at the input rate (20 MHz for native input).
+func (fe *FrontEnd) Process(x []complex128) []complex128 {
+	// 1. Interpolate the complex envelope to the solver rate.
+	env := fe.up.Process(x)
+	out := make([]complex128, 0, len(x))
+	s2 := math.Sqrt2
+	for _, e := range env {
+		// 2. Up-convert to the scaled RF carrier (real passband).
+		c, ms := fe.carrier.Next()
+		v := s2 * (real(e)*c - imag(e)*(-ms)) // sqrt2*Re{e * exp(+jwt)}
+
+		// 3. LNA (nonlinear, noisy) on the RF waveform.
+		v = fe.lna.Step(v)
+
+		// 4. First conversion: x2 cos at fc/2 -> IF at fc/2 (+ image at
+		// 3fc/2, removed later by the channel filter).
+		c1, _ := fe.lo1.Next()
+		v *= 2 * c1
+
+		// 5. Inter-stage DC block.
+		if fe.hpf != nil {
+			v = fe.hpf.Step(v)
+		}
+
+		// 6. Second conversion to quadrature baseband. The Q rail carries
+		// the configured amplitude and phase skew:
+		// -sin(ph+theta) = ms2*cos(theta) - c2*sin(theta).
+		c2, ms2 := fe.lo2.Next()
+		i := v*s2*c2 + fe.dc
+		msSkew := ms2*fe.qCos - c2*fe.qSin
+		q := v * s2 * msSkew * fe.qGain
+
+		// 7. Channel-select Chebyshev low-pass per rail.
+		if fe.lpfI != nil {
+			i = fe.lpfI.Step(i)
+			q = fe.lpfQ.Step(q)
+		}
+
+		// 8. Output amplifier and ADC sampling at the input rate.
+		if fe.phase == 0 {
+			out = append(out, complex(i*fe.outGain, q*fe.outGain))
+		}
+		fe.phase++
+		if fe.phase == fe.decim {
+			fe.phase = 0
+		}
+	}
+	return out
+}
+
+// Reset clears every stage.
+func (fe *FrontEnd) Reset() {
+	fe.lna.Reset()
+	fe.lo1.Reset()
+	fe.lo2.Reset()
+	if fe.hpf != nil {
+		fe.hpf.Reset()
+	}
+	if fe.lpfI != nil {
+		fe.lpfI.Reset()
+		fe.lpfQ.Reset()
+	}
+	fe.up.Reset()
+	fe.carrier.Reset()
+	fe.phase = 0
+}

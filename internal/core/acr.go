@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Adjacent-channel rejection measurement, the receiver-side counterpart of
+// the paper's adjacent-channel experiments: clause 17.3.10.2 specifies, per
+// rate, how much stronger an adjacent-channel signal may be than a wanted
+// signal 3 dB above sensitivity while the link still meets 10% PER.
+
+// ACRResult is the measured rejection for one rate.
+type ACRResult struct {
+	// RateMbps is the wanted link's rate.
+	RateMbps int
+	// WantedPowerDBm is the wanted level used (3 dB above the standard's
+	// sensitivity for the rate).
+	WantedPowerDBm float64
+	// RejectionDB is the highest tolerated adjacent-to-wanted power ratio.
+	RejectionDB float64
+	// RequiredDB is the clause-17.3.10.2 minimum.
+	RequiredDB float64
+	// BaselineFails reports that the link already misses 10% PER with no
+	// interferer at all — the rejection number is then meaningless and the
+	// verdict points at the front end's impairment floor, not selectivity.
+	BaselineFails bool
+}
+
+// Pass reports whether the measured rejection meets the requirement.
+func (r ACRResult) Pass() bool { return !r.BaselineFails && r.RejectionDB >= r.RequiredDB }
+
+// String formats the result.
+func (r ACRResult) String() string {
+	if r.BaselineFails {
+		return fmt.Sprintf("%2d Mbps: FAIL — link misses 10%% PER at %g dBm even without an interferer (impairment floor)",
+			r.RateMbps, r.WantedPowerDBm)
+	}
+	verdict := "FAIL"
+	if r.Pass() {
+		verdict = "PASS"
+	}
+	return fmt.Sprintf("%2d Mbps: ACR %+5.1f dB (required %+5.1f) %s",
+		r.RateMbps, r.RejectionDB, r.RequiredDB, verdict)
+}
+
+// acrRequirements lists the clause-17.3.10.2 adjacent channel rejection
+// minima (dB) per rate, and the corresponding sensitivity levels (dBm).
+var acrRequirements = map[int]struct{ sensitivity, acr float64 }{
+	6:  {-82, 16},
+	9:  {-81, 15},
+	12: {-79, 13},
+	18: {-77, 11},
+	24: {-74, 8},
+	36: {-70, 4},
+	48: {-66, 0},
+	54: {-65, -1},
+}
+
+// MeasureACR bisects the maximum adjacent-channel power (relative to the
+// wanted signal, which sits 3 dB above the standard's sensitivity) at which
+// the packet error rate stays at or below 10%.
+func MeasureACR(base Config, rateMbps int) (ACRResult, error) {
+	req, ok := acrRequirements[rateMbps]
+	if !ok {
+		return ACRResult{}, fmt.Errorf("core: no ACR requirement for %d Mbps", rateMbps)
+	}
+	res := ACRResult{
+		RateMbps:       rateMbps,
+		WantedPowerDBm: req.sensitivity + 3,
+		RequiredDB:     req.acr,
+	}
+	per := func(rejectionDB float64, withInterferer bool) (float64, error) {
+		cfg := base
+		cfg.RateMbps = rateMbps
+		cfg.WantedPowerDBm = res.WantedPowerDBm
+		if withInterferer {
+			cfg.Interferers = []InterfererSpec{{
+				OffsetHz: 20e6,
+				PowerDBm: res.WantedPowerDBm + rejectionDB,
+				RateMbps: 24,
+			}}
+		} else {
+			cfg.Interferers = nil
+		}
+		bench, err := NewBench(cfg)
+		if err != nil {
+			return 0, err
+		}
+		r, err := bench.Run()
+		if err != nil {
+			return 0, err
+		}
+		return r.Counter.PER(), nil
+	}
+	// Baseline: the interferer-free link must meet the PER target first.
+	p0, err := per(0, false)
+	if err != nil {
+		return res, err
+	}
+	if p0 > 0.1 {
+		res.BaselineFails = true
+		return res, nil
+	}
+	// Establish brackets: lo passes, hi fails.
+	lo, hi := -10.0, 50.0
+	pLo, err := per(lo, true)
+	if err != nil {
+		return res, err
+	}
+	if pLo > 0.1 {
+		res.RejectionDB = lo
+		return res, nil // fails even with a weak interferer
+	}
+	pHi, err := per(hi, true)
+	if err != nil {
+		return res, err
+	}
+	if pHi <= 0.1 {
+		res.RejectionDB = hi
+		return res, nil // tolerates anything in the search range
+	}
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		p, err := per(mid, true)
+		if err != nil {
+			return res, err
+		}
+		if p <= 0.1 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	res.RejectionDB = lo
+	return res, nil
+}
+
+// ACRReport measures the adjacent channel rejection for the given rates.
+func ACRReport(base Config, rates []int) ([]ACRResult, error) {
+	out := make([]ACRResult, 0, len(rates))
+	for _, r := range rates {
+		res, err := MeasureACR(base, r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatACR renders the report.
+func FormatACR(rows []ACRResult) string {
+	var b strings.Builder
+	for _, r := range rows {
+		fmt.Fprintln(&b, r.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,409 @@
+// Package core assembles the paper's verification flow: an IEEE 802.11a
+// transmission system (transmitter, channel with optional adjacent-channel
+// interferers, RF receiver front end at a selectable abstraction level, and
+// the DSP receiver) plus the measurement harnesses that regenerate every
+// figure and table of the paper's evaluation (§5).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wlansim/internal/analog"
+	"wlansim/internal/bits"
+	"wlansim/internal/channel"
+	"wlansim/internal/measure"
+	"wlansim/internal/phy"
+	"wlansim/internal/rf"
+	"wlansim/internal/rxdsp"
+	"wlansim/internal/units"
+)
+
+// FrontEndKind selects the abstraction level of the analog receiver model,
+// mirroring the paper's three simulation setups.
+type FrontEndKind int
+
+// Supported front-end abstraction levels.
+const (
+	// FrontEndIdeal is the idealized analog part (perfect channel
+	// filtering, no impairments) used for EVM reference measurements.
+	FrontEndIdeal FrontEndKind = iota
+	// FrontEndBehavioral is the complex-baseband rflib-style model inside
+	// the system simulator (the pure-SPW setup).
+	FrontEndBehavioral
+	// FrontEndCoSim is the continuous-time analog solver (the SPW-AMS
+	// co-simulation setup).
+	FrontEndCoSim
+	// FrontEndBlackBox is a K-model (Moult/Chen, the paper's ref [6])
+	// extracted from the continuous-time solver and instantiated in the
+	// system simulation: near co-simulation fidelity at system-level speed.
+	// Extraction happens once per Run; like the real flow it captures the
+	// deterministic behavior only (no noise sources).
+	FrontEndBlackBox
+)
+
+// String names the abstraction level.
+func (k FrontEndKind) String() string {
+	switch k {
+	case FrontEndIdeal:
+		return "ideal"
+	case FrontEndBehavioral:
+		return "behavioral-baseband"
+	case FrontEndCoSim:
+		return "analog-cosim"
+	case FrontEndBlackBox:
+		return "kmodel-blackbox"
+	default:
+		return "?"
+	}
+}
+
+// InterfererSpec describes one interfering 802.11a emitter (paper §4.1: a
+// duplicated transmitter shifted in frequency).
+type InterfererSpec struct {
+	// OffsetHz is the carrier offset (+20e6 for the first adjacent channel,
+	// +40e6 for the second).
+	OffsetHz float64
+	// PowerDBm is the interferer's received power.
+	PowerDBm float64
+	// RateMbps selects the interferer's modulation (default 24).
+	RateMbps int
+}
+
+// Config describes one measurement scenario.
+type Config struct {
+	// RateMbps is the wanted link's data rate.
+	RateMbps int
+	// PSDULen is the payload length per packet in octets.
+	PSDULen int
+	// Packets is the number of packets to simulate.
+	Packets int
+	// Seed makes the run reproducible.
+	Seed int64
+	// WantedPowerDBm is the wanted signal's received power (paper §2.2:
+	// -88..-23 dBm).
+	WantedPowerDBm float64
+	// ChannelSNRdB, if non-nil, adds AWGN at the antenna with the given
+	// in-band SNR relative to the wanted signal.
+	ChannelSNRdB *float64
+	// CFOHz applies a carrier frequency offset to the composite signal.
+	CFOHz float64
+	// MultipathTaps > 0 enables a Rayleigh channel with that many taps.
+	MultipathTaps int
+	// MultipathRMSSamples is the exponential delay profile constant.
+	MultipathRMSSamples float64
+	// DopplerHz > 0 makes the multipath channel time-varying (Jakes model).
+	DopplerHz float64
+	// SampleClockPPM applies a TX/RX sampling-clock offset in ppm.
+	SampleClockPPM float64
+	// Interferers places adjacent/non-adjacent channels.
+	Interferers []InterfererSpec
+	// FrontEnd selects the analog model abstraction level.
+	FrontEnd FrontEndKind
+	// TuneRF, if set, adjusts the behavioral receiver configuration after
+	// defaults are applied (used by the parameter sweeps).
+	TuneRF func(*rf.ReceiverConfig)
+	// TuneCoSim likewise adjusts the analog solver configuration.
+	TuneCoSim func(*analog.FrontEndConfig)
+	// UseIdealRxTiming decodes with genie timing instead of the
+	// synchronizing receiver (only valid without interferers and with the
+	// ideal front end; used for the paper's EVM methodology).
+	UseIdealRxTiming bool
+	// HardDecisions disables soft Viterbi metrics in the DSP receiver
+	// (ablation).
+	HardDecisions bool
+	// DisableCSI disables channel-state weighting of the soft metrics
+	// (ablation).
+	DisableCSI bool
+}
+
+// DefaultConfig returns a baseline scenario: 24 Mbps, 100-byte packets,
+// -62 dBm wanted power, behavioral front end, no interferers.
+func DefaultConfig() Config {
+	return Config{
+		RateMbps:       24,
+		PSDULen:        100,
+		Packets:        10,
+		Seed:           1,
+		WantedPowerDBm: -62,
+		FrontEnd:       FrontEndBehavioral,
+	}
+}
+
+// Result summarizes one scenario run.
+type Result struct {
+	// Counter accumulates bit/packet error statistics over all packets.
+	Counter measure.BERCounter
+	// EVM is the mean decision-directed EVM over delivered packets.
+	EVM measure.EVMResult
+	// OversampleFactor is the composite-rate factor that was used.
+	OversampleFactor int
+	// FrontEnd echoes the abstraction level.
+	FrontEnd FrontEndKind
+}
+
+// BER returns the measured bit error rate.
+func (r *Result) BER() float64 { return r.Counter.BER() }
+
+// leadInSamples is the silence/interferer-only time before the wanted packet
+// at the native 20 MHz rate, letting filters and the AGC settle.
+const leadInSamples = 600
+
+// tailSamples pads after the packet so group delays don't truncate it.
+const tailSamples = 300
+
+// Bench runs measurement scenarios. The zero value is not usable; use
+// NewBench.
+type Bench struct {
+	cfg Config
+}
+
+// NewBench validates the scenario.
+func NewBench(cfg Config) (*Bench, error) {
+	if cfg.PSDULen < 1 || cfg.PSDULen > 4095 {
+		return nil, fmt.Errorf("core: PSDU length %d", cfg.PSDULen)
+	}
+	if cfg.Packets < 1 {
+		return nil, fmt.Errorf("core: packet count %d", cfg.Packets)
+	}
+	if _, err := phy.ModeByRate(cfg.RateMbps); err != nil {
+		return nil, err
+	}
+	if cfg.UseIdealRxTiming && (len(cfg.Interferers) > 0 || cfg.FrontEnd != FrontEndIdeal) {
+		return nil, fmt.Errorf("core: ideal RX timing requires the ideal front end and no interferers")
+	}
+	for _, i := range cfg.Interferers {
+		rate := i.RateMbps
+		if rate == 0 {
+			rate = 24
+		}
+		if _, err := phy.ModeByRate(rate); err != nil {
+			return nil, err
+		}
+	}
+	return &Bench{cfg: cfg}, nil
+}
+
+// oversample computes the composite oversampling factor for the scenario.
+func (b *Bench) oversample() int {
+	maxOffset := 0.0
+	for _, i := range b.cfg.Interferers {
+		if o := i.OffsetHz; o > maxOffset {
+			maxOffset = o
+		} else if -o > maxOffset {
+			maxOffset = -o
+		}
+	}
+	if maxOffset == 0 {
+		return 1
+	}
+	return channel.MinOversample(maxOffset)
+}
+
+// buildFrontEnd constructs the configured analog model.
+func (b *Bench) buildFrontEnd(os int) (rf.FrontEnd, error) {
+	switch b.cfg.FrontEnd {
+	case FrontEndIdeal:
+		return rf.NewIdealFrontEnd(os)
+	case FrontEndBehavioral:
+		cfg := rf.DefaultReceiverConfig(os)
+		// Calibrate the AGC starting point to the expected wanted level so
+		// the loop only has to track.
+		smallSignal := cfg.LNA.GainDB + cfg.Mixer1.ConversionGainDB + cfg.Mixer2.ConversionGainDB
+		cfg.AGC.InitialGainDB = cfg.AGC.TargetDBm - (b.cfg.WantedPowerDBm + smallSignal)
+		if b.cfg.TuneRF != nil {
+			b.cfg.TuneRF(&cfg)
+		}
+		return rf.NewReceiver(cfg)
+	case FrontEndCoSim:
+		cfg := analog.DefaultFrontEndConfig()
+		cfg.InputRateHz = 20e6 * float64(os)
+		cfg.Seed = b.cfg.Seed + 7
+		if b.cfg.TuneCoSim != nil {
+			b.cfg.TuneCoSim(&cfg)
+		}
+		return analog.NewFrontEnd(cfg)
+	case FrontEndBlackBox:
+		cfg := analog.DefaultFrontEndConfig()
+		cfg.InputRateHz = 20e6 * float64(os)
+		cfg.EnableNoise = false
+		cfg.LOLinewidthHz = 0
+		// A coarser solver step suffices for the deterministic extraction
+		// sweeps and keeps the one-off extraction cost low.
+		cfg.SolverOversample = 16
+		if b.cfg.TuneCoSim != nil {
+			b.cfg.TuneCoSim(&cfg)
+		}
+		detailed, err := analog.NewFrontEnd(cfg)
+		if err != nil {
+			return nil, err
+		}
+		kCfg := rf.DefaultKModelConfig()
+		kCfg.SampleRateHz = cfg.InputRateHz
+		kCfg.SettleSamples = 1024
+		kCfg.MeasureSamples = 1024
+		kCfg.SweepStepDB = 4
+		return rf.ExtractKModel(detailed, kCfg)
+	default:
+		return nil, fmt.Errorf("core: unknown front end %d", b.cfg.FrontEnd)
+	}
+}
+
+// interfererWaveform produces a continuous stream of back-to-back frames
+// covering at least total native samples.
+func interfererWaveform(rateMbps int, total int, rng *rand.Rand) ([]complex128, error) {
+	if rateMbps == 0 {
+		rateMbps = 24
+	}
+	tx, err := phy.NewTransmitter(rateMbps)
+	if err != nil {
+		return nil, err
+	}
+	var out []complex128
+	for len(out) < total {
+		tx.ScramblerSeed = byte(1 + rng.Intn(127))
+		frame, err := tx.Transmit(bits.RandomBytes(rng, 200))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, frame.Samples...)
+	}
+	return out[:total], nil
+}
+
+// composePacket builds the composite antenna waveform for one wanted frame.
+func (b *Bench) composePacket(frame *phy.Frame, os int, rng *rand.Rand) ([]complex128, error) {
+	totalNative := leadInSamples + len(frame.Samples) + tailSamples
+	emitters := []channel.Emitter{{
+		Samples:      frame.Samples,
+		OffsetHz:     0,
+		PowerDBm:     b.cfg.WantedPowerDBm,
+		DelaySamples: leadInSamples,
+	}}
+	for _, spec := range b.cfg.Interferers {
+		wave, err := interfererWaveform(spec.RateMbps, totalNative, rng)
+		if err != nil {
+			return nil, err
+		}
+		emitters = append(emitters, channel.Emitter{
+			Samples:  wave,
+			OffsetHz: spec.OffsetHz,
+			PowerDBm: spec.PowerDBm,
+		})
+	}
+	comp, err := channel.NewComposer(os)
+	if err != nil {
+		return nil, err
+	}
+	x, err := comp.Compose(emitters)
+	if err != nil {
+		return nil, err
+	}
+	// Pad to the full scenario duration (Compose sizes the output to the
+	// longest emitter): the tail absorbs the analog chain's group delay so
+	// the last OFDM symbols are not truncated.
+	if want := totalNative * os; len(x) < want {
+		x = append(x, make([]complex128, want-len(x))...)
+	}
+
+	fs := comp.CompositeRateHz()
+	if b.cfg.MultipathTaps > 0 {
+		if b.cfg.DopplerHz > 0 {
+			fc, err := channel.NewFadingChannel(b.cfg.MultipathTaps,
+				b.cfg.MultipathRMSSamples, b.cfg.DopplerHz, fs, rng.Int63())
+			if err != nil {
+				return nil, err
+			}
+			fc.Process(x)
+		} else {
+			mp, err := channel.NewRayleighChannel(b.cfg.MultipathTaps, b.cfg.MultipathRMSSamples, rng.Int63())
+			if err != nil {
+				return nil, err
+			}
+			mp.Process(x)
+		}
+	}
+	if b.cfg.SampleClockPPM != 0 {
+		sco, err := channel.NewSampleClockOffset(b.cfg.SampleClockPPM)
+		if err != nil {
+			return nil, err
+		}
+		x = sco.Process(x)
+	}
+	if b.cfg.CFOHz != 0 {
+		channel.NewCFO(b.cfg.CFOHz, fs, rng.Float64()).Process(x)
+	}
+	if b.cfg.ChannelSNRdB != nil {
+		// White noise across the composite band; the in-band (20 MHz) SNR
+		// equals the requested value.
+		wantedW := units.DBmToWatts(b.cfg.WantedPowerDBm)
+		noiseW := wantedW / units.DBToLinear(*b.cfg.ChannelSNRdB) * float64(os)
+		channel.NewAWGN(noiseW, rng.Int63()).AddTo(x)
+	}
+	return x, nil
+}
+
+// Run simulates the configured number of packets and returns the measured
+// statistics.
+func (b *Bench) Run() (*Result, error) {
+	os := b.oversample()
+	fe, err := b.buildFrontEnd(os)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := phy.ModeByRate(b.cfg.RateMbps)
+	if err != nil {
+		return nil, err
+	}
+	tx := &phy.Transmitter{Mode: mode}
+	rng := rand.New(rand.NewSource(b.cfg.Seed))
+	res := &Result{OversampleFactor: os, FrontEnd: b.cfg.FrontEnd}
+	var evmAcc float64
+	var evmSymbols, evmRuns int
+
+	for p := 0; p < b.cfg.Packets; p++ {
+		tx.ScramblerSeed = byte(1 + rng.Intn(127))
+		psdu := bits.RandomBytes(rng, b.cfg.PSDULen)
+		frame, err := tx.Transmit(psdu)
+		if err != nil {
+			return nil, err
+		}
+		antenna, err := b.composePacket(frame, os, rng)
+		if err != nil {
+			return nil, err
+		}
+		fe.Reset()
+		baseband := fe.Process(antenna)
+
+		var pkt *rxdsp.PacketResult
+		var rxErr error
+		if b.cfg.UseIdealRxTiming {
+			ir := &rxdsp.IdealReceiver{Mode: mode, PSDULen: b.cfg.PSDULen}
+			pkt, rxErr = ir.Receive(baseband, leadInSamples)
+		} else {
+			rx := rxdsp.NewReceiver()
+			rx.HardDecisions = b.cfg.HardDecisions
+			rx.DisableCSI = b.cfg.DisableCSI
+			pkt, rxErr = rx.Receive(baseband, 0)
+		}
+		refBits := bits.FromBytes(psdu)
+		if rxErr != nil {
+			res.Counter.AddLostPacket(len(refBits))
+			continue
+		}
+		res.Counter.AddPacket(refBits, bits.FromBytes(pkt.PSDU))
+		if ev, err := measure.EVM(pkt.EqualizedCarriers, mode.Modulation); err == nil {
+			evmAcc += ev.RMS * ev.RMS * float64(ev.Symbols)
+			evmSymbols += ev.Symbols
+			evmRuns++
+		}
+	}
+	if evmSymbols > 0 {
+		res.EVM = measure.EVMResult{
+			RMS:     math.Sqrt(evmAcc / float64(evmSymbols)),
+			Symbols: evmSymbols,
+		}
+	}
+	return res, nil
+}

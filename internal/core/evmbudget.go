@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"wlansim/internal/rf"
+)
+
+// EVMBudgetRow is one line of the impairment budget: the link EVM with only
+// one analog impairment active.
+type EVMBudgetRow struct {
+	// Impairment names the active effect.
+	Impairment string
+	// EVMPercent is the measured rms EVM.
+	EVMPercent float64
+	// BER is the measured bit error rate (usually 0 for single impairments
+	// at nominal power).
+	BER float64
+}
+
+// EVMBudget measures the receiver's error-vector budget by running the
+// scenario repeatedly with exactly one impairment enabled at a time, plus
+// the all-on reference — the standard way an RF systems engineer validates
+// where the EVM of Figure-5/6-style scenarios comes from.
+func EVMBudget(base Config) ([]EVMBudgetRow, error) {
+	// Start from a clean slate: every switchable impairment off.
+	clean := func(rc *rf.ReceiverConfig) {
+		rc.DisableNoise = true
+		rc.LNA.Model = rf.Linear
+		rc.Mixer1.LO = nil
+		rc.Mixer2.LO = nil
+		rc.Mixer2.IQGainImbalanceDB = 0
+		rc.Mixer2.IQPhaseErrorDeg = 0
+		rc.Mixer2.EnableDC = false
+		rc.ADC.Bits = 0
+	}
+	defaults := rf.DefaultReceiverConfig(1)
+
+	cases := []struct {
+		name  string
+		apply func(rc *rf.ReceiverConfig)
+	}{
+		{"none (residual)", func(rc *rf.ReceiverConfig) {}},
+		{"thermal noise", func(rc *rf.ReceiverConfig) {
+			rc.DisableNoise = false
+		}},
+		{"LNA compression", func(rc *rf.ReceiverConfig) {
+			rc.LNA.Model = defaults.LNA.Model
+			rc.LNA.UseCompression = defaults.LNA.UseCompression
+			rc.LNA.CompressionDBm = defaults.LNA.CompressionDBm
+		}},
+		{"LO phase noise", func(rc *rf.ReceiverConfig) {
+			rc.Mixer1.LO = defaults.Mixer1.LO
+			rc.Mixer2.LO = defaults.Mixer2.LO
+		}},
+		{"I/Q imbalance", func(rc *rf.ReceiverConfig) {
+			rc.Mixer2.IQGainImbalanceDB = defaults.Mixer2.IQGainImbalanceDB
+			rc.Mixer2.IQPhaseErrorDeg = defaults.Mixer2.IQPhaseErrorDeg
+		}},
+		{"DC offset", func(rc *rf.ReceiverConfig) {
+			rc.Mixer2.EnableDC = true
+			rc.Mixer2.DCOffsetDBm = defaults.Mixer2.DCOffsetDBm
+		}},
+		{"ADC quantization", func(rc *rf.ReceiverConfig) {
+			rc.ADC.Bits = defaults.ADC.Bits
+		}},
+		{"all impairments", func(rc *rf.ReceiverConfig) {
+			rc.DisableNoise = false
+			rc.LNA.Model = defaults.LNA.Model
+			rc.LNA.UseCompression = defaults.LNA.UseCompression
+			rc.LNA.CompressionDBm = defaults.LNA.CompressionDBm
+			rc.Mixer1.LO = defaults.Mixer1.LO
+			rc.Mixer2.LO = defaults.Mixer2.LO
+			rc.Mixer2.IQGainImbalanceDB = defaults.Mixer2.IQGainImbalanceDB
+			rc.Mixer2.IQPhaseErrorDeg = defaults.Mixer2.IQPhaseErrorDeg
+			rc.Mixer2.EnableDC = true
+			rc.ADC.Bits = defaults.ADC.Bits
+		}},
+	}
+
+	rows := make([]EVMBudgetRow, 0, len(cases))
+	for _, c := range cases {
+		cfg := base
+		cfg.FrontEnd = FrontEndBehavioral
+		prev := base.TuneRF
+		apply := c.apply
+		cfg.TuneRF = func(rc *rf.ReceiverConfig) {
+			clean(rc)
+			apply(rc)
+			if prev != nil {
+				prev(rc)
+			}
+		}
+		bench, err := NewBench(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := bench.Run()
+		if err != nil {
+			return nil, fmt.Errorf("core: EVM budget %q: %w", c.name, err)
+		}
+		rows = append(rows, EVMBudgetRow{
+			Impairment: c.name,
+			EVMPercent: res.EVM.Percent(),
+			BER:        res.BER(),
+		})
+	}
+	return rows, nil
+}
+
+// FormatEVMBudget renders the budget as an aligned table.
+func FormatEVMBudget(rows []EVMBudgetRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-10s %s\n", "impairment", "EVM [%]", "BER")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-20s %-10.2f %.3g\n", r.Impairment, r.EVMPercent, r.BER)
+	}
+	return b.String()
+}

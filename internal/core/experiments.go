@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wlansim/internal/analog"
+	"wlansim/internal/channel"
+	"wlansim/internal/dsp"
+	"wlansim/internal/measure"
+	"wlansim/internal/phy"
+	"wlansim/internal/rf"
+	"wlansim/internal/sim"
+)
+
+// AdjacentChannelSpec returns the paper's first adjacent channel: +20 MHz,
+// 16 dB above the wanted level (§2.2).
+func AdjacentChannelSpec(wantedDBm float64) InterfererSpec {
+	return InterfererSpec{OffsetHz: 20e6, PowerDBm: wantedDBm + 16, RateMbps: 24}
+}
+
+// SecondAdjacentChannelSpec returns the second adjacent channel: +40 MHz,
+// 32 dB above the wanted level (§2.2).
+func SecondAdjacentChannelSpec(wantedDBm float64) InterfererSpec {
+	return InterfererSpec{OffsetHz: 40e6, PowerDBm: wantedDBm + 32, RateMbps: 24}
+}
+
+// Figure5Config returns the scenario behind Figure 5: BER versus the
+// Chebyshev channel-filter passband edge with the adjacent channel present.
+func Figure5Config() Config {
+	cfg := DefaultConfig()
+	cfg.RateMbps = 48
+	cfg.PSDULen = 100
+	cfg.Packets = 8
+	cfg.WantedPowerDBm = -70
+	cfg.Interferers = []InterfererSpec{AdjacentChannelSpec(cfg.WantedPowerDBm)}
+	// A 7th-order filter gives the sharp band edge of the paper's design,
+	// so an underdimensioned passband visibly cuts the outer subcarriers.
+	cfg.TuneRF = func(rc *rf.ReceiverConfig) { rc.ChannelFilterOrder = 7 }
+	return cfg
+}
+
+// FilterBandwidthSweep reproduces Figure 5: it sweeps the channel-select
+// filter passband edge (Hz) and measures the BER. The x axis is reported in
+// units of 1e8 Hz like the paper's plot.
+func FilterBandwidthSweep(base Config, edgesHz []float64) (*measure.Series, error) {
+	sweep := &sim.Sweep{
+		Name:   "BER vs filter bandwidth",
+		XLabel: "passband edge frequency (1.0e8 Hz)",
+		YLabel: "bit error rate",
+		Values: edgesHz,
+		Run: func(edge float64) (float64, error) {
+			cfg := base
+			prev := base.TuneRF
+			cfg.TuneRF = func(rc *rf.ReceiverConfig) {
+				if prev != nil {
+					prev(rc)
+				}
+				rc.ChannelFilterEdgeHz = edge
+			}
+			bench, err := NewBench(cfg)
+			if err != nil {
+				return 0, err
+			}
+			res, err := bench.Run()
+			if err != nil {
+				return 0, err
+			}
+			return res.BER(), nil
+		},
+	}
+	series, err := sweep.Execute()
+	if err != nil {
+		return nil, err
+	}
+	// Report the x axis in units of 1e8 Hz, matching the paper's figure.
+	for i := range series.Points {
+		series.Points[i].X /= 1e8
+	}
+	return series, nil
+}
+
+// Figure6Config returns the scenario behind Figure 6: BER versus the first
+// LNA's compression point, with and without the adjacent channel.
+func Figure6Config() Config {
+	cfg := DefaultConfig()
+	cfg.RateMbps = 24
+	cfg.PSDULen = 100
+	cfg.Packets = 8
+	// High signal level (paper §2.2: wanted up to -23 dBm, adjacent 16 dB
+	// hotter): the +16 dB adjacent channel drives the LNA into compression
+	// when its 1 dB compression point is set too low.
+	cfg.WantedPowerDBm = -40
+	return cfg
+}
+
+// CompressionPointSweep reproduces one curve of Figure 6: BER versus the
+// input 1 dB compression point of the first LNA (dBm). withAdjacent adds the
+// +16 dB adjacent channel.
+func CompressionPointSweep(base Config, compressionDBm []float64, withAdjacent bool) (*measure.Series, error) {
+	label := "non adjacent channel"
+	if withAdjacent {
+		label = "adjacent channel"
+	}
+	sweep := &sim.Sweep{
+		Name:   label,
+		XLabel: "compression point of LNA1 (dBm)",
+		YLabel: "bit error rate",
+		Values: compressionDBm,
+		Run: func(cp float64) (float64, error) {
+			cfg := base
+			if withAdjacent {
+				cfg.Interferers = []InterfererSpec{AdjacentChannelSpec(cfg.WantedPowerDBm)}
+			} else {
+				cfg.Interferers = nil
+			}
+			prev := base.TuneRF
+			cfg.TuneRF = func(rc *rf.ReceiverConfig) {
+				if prev != nil {
+					prev(rc)
+				}
+				rc.LNA.Model = rf.Cubic
+				rc.LNA.UseCompression = true
+				rc.LNA.CompressionDBm = cp
+			}
+			bench, err := NewBench(cfg)
+			if err != nil {
+				return 0, err
+			}
+			res, err := bench.Run()
+			if err != nil {
+				return 0, err
+			}
+			return res.BER(), nil
+		},
+	}
+	return sweep.Execute()
+}
+
+// IP3Sweep measures BER versus the LNA's input-referred IP3 (dBm), the
+// other nonlinearity sweep mentioned in §5.1.
+func IP3Sweep(base Config, iip3DBm []float64, withAdjacent bool) (*measure.Series, error) {
+	label := "BER vs LNA IIP3"
+	sweep := &sim.Sweep{
+		Name:   label,
+		XLabel: "IIP3 of LNA1 (dBm)",
+		YLabel: "bit error rate",
+		Values: iip3DBm,
+		Run: func(ip3 float64) (float64, error) {
+			cfg := base
+			if withAdjacent {
+				cfg.Interferers = []InterfererSpec{AdjacentChannelSpec(cfg.WantedPowerDBm)}
+			}
+			prev := base.TuneRF
+			cfg.TuneRF = func(rc *rf.ReceiverConfig) {
+				if prev != nil {
+					prev(rc)
+				}
+				rc.LNA.Model = rf.Cubic
+				rc.LNA.UseCompression = false
+				rc.LNA.IIP3DBm = ip3
+			}
+			bench, err := NewBench(cfg)
+			if err != nil {
+				return 0, err
+			}
+			res, err := bench.Run()
+			if err != nil {
+				return 0, err
+			}
+			return res.BER(), nil
+		},
+	}
+	return sweep.Execute()
+}
+
+// SpectrumExperiment reproduces Figure 4: the PSD of an OFDM burst with the
+// first adjacent channel, centered at the 5.2 GHz carrier.
+func SpectrumExperiment(wantedDBm float64, withSecondAdjacent bool) (*dsp.PSD, measure.ChannelPowerReport, error) {
+	rng := rand.New(rand.NewSource(42))
+	total := 6000
+	wanted, err := interfererWaveform(24, total, rng)
+	if err != nil {
+		return nil, measure.ChannelPowerReport{}, err
+	}
+	adj, err := interfererWaveform(24, total, rng)
+	if err != nil {
+		return nil, measure.ChannelPowerReport{}, err
+	}
+	emitters := []channel.Emitter{
+		{Samples: wanted, OffsetHz: 0, PowerDBm: wantedDBm},
+		{Samples: adj, OffsetHz: 20e6, PowerDBm: wantedDBm + 16},
+	}
+	maxOff := 20e6
+	if withSecondAdjacent {
+		adj2, err := interfererWaveform(24, total, rng)
+		if err != nil {
+			return nil, measure.ChannelPowerReport{}, err
+		}
+		emitters = append(emitters, channel.Emitter{
+			Samples: adj2, OffsetHz: 40e6, PowerDBm: wantedDBm + 32,
+		})
+		maxOff = 40e6
+	}
+	comp, err := channel.NewComposer(channel.MinOversample(maxOff))
+	if err != nil {
+		return nil, measure.ChannelPowerReport{}, err
+	}
+	x, err := comp.Compose(emitters)
+	if err != nil {
+		return nil, measure.ChannelPowerReport{}, err
+	}
+	psd, err := measure.NewSpectrum().Analyze(x, comp.CompositeRateHz())
+	if err != nil {
+		return nil, measure.ChannelPowerReport{}, err
+	}
+	return psd, measure.ChannelPowers(psd), nil
+}
+
+// EVMvsSNR reproduces the §5.2 methodology: error vector magnitude measured
+// with the ideal receiver model over a sweep of channel SNRs.
+func EVMvsSNR(base Config, snrsDB []float64) (*measure.Series, error) {
+	sweep := &sim.Sweep{
+		Name:   "EVM vs SNR (ideal receiver)",
+		XLabel: "channel SNR (dB)",
+		YLabel: "EVM (%)",
+		Values: snrsDB,
+		Run: func(snr float64) (float64, error) {
+			cfg := base
+			cfg.FrontEnd = FrontEndIdeal
+			cfg.UseIdealRxTiming = true
+			cfg.Interferers = nil
+			s := snr
+			cfg.ChannelSNRdB = &s
+			bench, err := NewBench(cfg)
+			if err != nil {
+				return 0, err
+			}
+			res, err := bench.Run()
+			if err != nil {
+				return 0, err
+			}
+			return res.EVM.Percent(), nil
+		},
+	}
+	return sweep.Execute()
+}
+
+// TimingRow is one row of the reproduced Table 2.
+type TimingRow struct {
+	// Packets is the number of OFDM packets simulated.
+	Packets int
+	// FastSeconds is the wall-clock time of the pure system-level
+	// (complex-baseband) simulation.
+	FastSeconds float64
+	// CoSimSeconds is the wall-clock time of the analog co-simulation.
+	CoSimSeconds float64
+}
+
+// Ratio returns how many times slower the co-simulation ran.
+func (r TimingRow) Ratio() float64 {
+	if r.FastSeconds <= 0 {
+		return 0
+	}
+	return r.CoSimSeconds / r.FastSeconds
+}
+
+// TimingComparison reproduces Table 2: wall-clock time of the pure
+// system-level simulation versus the analog co-simulation for increasing
+// packet counts.
+func TimingComparison(base Config, packetCounts []int) ([]TimingRow, error) {
+	rows := make([]TimingRow, 0, len(packetCounts))
+	run := func(cfg Config) (float64, error) {
+		bench, err := NewBench(cfg)
+		if err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		if _, err := bench.Run(); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	for _, n := range packetCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("core: packet count %d", n)
+		}
+		fast := base
+		fast.Packets = n
+		fast.FrontEnd = FrontEndBehavioral
+		fastSec, err := run(fast)
+		if err != nil {
+			return nil, err
+		}
+		cosim := base
+		cosim.Packets = n
+		cosim.FrontEnd = FrontEndCoSim
+		cosimSec, err := run(cosim)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TimingRow{Packets: n, FastSeconds: fastSec, CoSimSeconds: cosimSec})
+	}
+	return rows, nil
+}
+
+// NoiseArtifactResult captures the §4.3/§5.1 co-simulation artifact: the AMS
+// designer could not run the behavioral models' noise functions in transient
+// analysis, so co-simulated BER came out better than the SPW-only result.
+type NoiseArtifactResult struct {
+	// BehavioralBER is the SPW-style run with all noise sources active.
+	BehavioralBER float64
+	// CoSimNoNoiseBER is the co-simulation with noise functions
+	// unavailable (the artifact).
+	CoSimNoNoiseBER float64
+	// CoSimWithNoiseBER applies the paper's suggested workaround
+	// (Verilog-AMS random functions), restoring the noise.
+	CoSimWithNoiseBER float64
+}
+
+// NoiseArtifactExperiment measures the artifact at a low wanted power where
+// thermal noise dominates the error rate.
+func NoiseArtifactExperiment(base Config) (NoiseArtifactResult, error) {
+	var out NoiseArtifactResult
+	run := func(cfg Config) (float64, error) {
+		bench, err := NewBench(cfg)
+		if err != nil {
+			return 0, err
+		}
+		res, err := bench.Run()
+		if err != nil {
+			return 0, err
+		}
+		return res.BER(), nil
+	}
+	behav := base
+	behav.FrontEnd = FrontEndBehavioral
+	var err error
+	if out.BehavioralBER, err = run(behav); err != nil {
+		return out, err
+	}
+	noNoise := base
+	noNoise.FrontEnd = FrontEndCoSim
+	prev := base.TuneCoSim
+	noNoise.TuneCoSim = func(c *analog.FrontEndConfig) {
+		if prev != nil {
+			prev(c)
+		}
+		c.EnableNoise = false
+	}
+	if out.CoSimNoNoiseBER, err = run(noNoise); err != nil {
+		return out, err
+	}
+	withNoise := base
+	withNoise.FrontEnd = FrontEndCoSim
+	withNoise.TuneCoSim = func(c *analog.FrontEndConfig) {
+		if prev != nil {
+			prev(c)
+		}
+		c.EnableNoise = true
+	}
+	if out.CoSimWithNoiseBER, err = run(withNoise); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// StandardsTableText renders the paper's Table 1.
+func StandardsTableText() string {
+	out := fmt.Sprintf("%-10s %-10s %-12s %s\n", "Approval", "Standard", "Band [GHz]", "Data Rate [Mbps]")
+	for _, s := range phy.StandardsTable {
+		year := "expect."
+		if s.Approval > 0 {
+			year = fmt.Sprintf("%d", s.Approval)
+		}
+		rates := ""
+		for i, r := range s.RatesMbps {
+			if i > 0 {
+				rates += ", "
+			}
+			if r == float64(int(r)) {
+				rates += fmt.Sprintf("%d", int(r))
+			} else {
+				rates += fmt.Sprintf("%.1f", r)
+			}
+		}
+		out += fmt.Sprintf("%-10s %-10s %-12g %s\n", year, s.Name, s.BandGHz, rates)
+	}
+	return out
+}

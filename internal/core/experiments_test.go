@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// fastFigure5 shrinks the Figure 5 scenario for test runtimes. The payload
+// stays at 100 octets so the narrow-filter arm has enough symbols to show
+// its band-edge degradation.
+func fastFigure5() Config {
+	cfg := Figure5Config()
+	cfg.Packets = 3
+	return cfg
+}
+
+func TestFilterBandwidthSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	series, err := FilterBandwidthSweep(fastFigure5(), []float64{6e6, 9.5e6, 14e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Points) != 3 {
+		t.Fatalf("%d points", len(series.Points))
+	}
+	// X axis reported in 1e8 Hz units.
+	if series.Points[0].X != 0.06 {
+		t.Errorf("x unit conversion wrong: %v", series.Points[0].X)
+	}
+	narrow, _ := series.YAt(0.06)
+	good, _ := series.YAt(0.095)
+	wide, _ := series.YAt(0.14)
+	// The paper's shape: both extremes worse than the design point.
+	if !(narrow > good) {
+		t.Errorf("narrow filter BER %v not worse than design point %v", narrow, good)
+	}
+	if !(wide > good) {
+		t.Errorf("wide filter BER %v not worse than design point %v", wide, good)
+	}
+	if wide < 0.3 {
+		t.Errorf("wide filter BER %v: adjacent channel should break the link", wide)
+	}
+}
+
+func TestCompressionPointSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	base := Figure6Config()
+	base.Packets = 2
+	base.PSDULen = 60
+	cps := []float64{-30, -5}
+	with, err := CompressionPointSweep(base, cps, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := CompressionPointSweep(base, cps, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowCP, _ := with.YAt(-30)
+	highCP, _ := with.YAt(-5)
+	if !(lowCP > 0.2 && highCP < 0.05) {
+		t.Errorf("with adjacent: BER(-30)=%v BER(-5)=%v, want high->low", lowCP, highCP)
+	}
+	// Without the adjacent channel the link is clean across the sweep.
+	for _, p := range without.Points {
+		if p.Y > 0.05 {
+			t.Errorf("without adjacent: BER %v at CP %v", p.Y, p.X)
+		}
+	}
+}
+
+func TestIP3SweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	base := Figure6Config()
+	base.Packets = 2
+	base.PSDULen = 60
+	series, err := IP3Sweep(base, []float64{-20, 5}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low, _ := series.YAt(-20)
+	high, _ := series.YAt(5)
+	if !(low > 0.2 && high < 0.05) {
+		t.Errorf("IP3 sweep BER(-20)=%v BER(5)=%v", low, high)
+	}
+}
+
+func TestSpectrumExperimentLevels(t *testing.T) {
+	psd, rep, err := SpectrumExperiment(-62, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psd == nil || len(psd.FreqHz) == 0 {
+		t.Fatal("no PSD")
+	}
+	if math.Abs(rep.WantedDBm-(-62)) > 1.5 {
+		t.Errorf("wanted channel power %v dBm, want ~-62", rep.WantedDBm)
+	}
+	if d := rep.AdjacentDBm - rep.WantedDBm; math.Abs(d-16) > 1.5 {
+		t.Errorf("adjacent offset %v dB, want 16", d)
+	}
+	// Without the second interferer that channel holds only leakage.
+	if rep.SecondAdjacentDBm > rep.WantedDBm {
+		t.Errorf("second adjacent %v dBm unexpectedly hot", rep.SecondAdjacentDBm)
+	}
+
+	_, rep2, err := SpectrumExperiment(-62, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := rep2.SecondAdjacentDBm - rep2.WantedDBm; math.Abs(d-32) > 1.5 {
+		t.Errorf("second adjacent offset %v dB, want 32", d)
+	}
+}
+
+func TestEVMvsSNRMonotone(t *testing.T) {
+	base := DefaultConfig()
+	base.Packets = 2
+	base.PSDULen = 60
+	series, err := EVMvsSNR(base, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, p := range series.Points {
+		if p.Y >= prev {
+			t.Errorf("EVM not decreasing with SNR: %v%% at %v dB", p.Y, p.X)
+		}
+		prev = p.Y
+	}
+	// At 20 dB SNR the EVM is ~10% (noise-dominated: EVM ~ 10^(-SNR/20)).
+	if y, ok := series.YAt(20); !ok || math.Abs(y-10) > 3 {
+		t.Errorf("EVM at 20 dB = %v%%, want ~10%%", y)
+	}
+}
+
+func TestTimingComparisonRatio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run too slow for -short")
+	}
+	base := DefaultConfig()
+	base.PSDULen = 60
+	rows, err := TimingComparison(base, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.CoSimSeconds <= r.FastSeconds {
+			t.Errorf("co-simulation (%vs) not slower than system level (%vs)", r.CoSimSeconds, r.FastSeconds)
+		}
+		if r.Ratio() < 3 {
+			t.Errorf("co-sim ratio %v implausibly low", r.Ratio())
+		}
+	}
+	if _, err := TimingComparison(base, []int{0}); err == nil {
+		t.Error("accepted zero packet count")
+	}
+}
+
+func TestTimingRowRatioZeroDivision(t *testing.T) {
+	r := TimingRow{Packets: 1, FastSeconds: 0, CoSimSeconds: 1}
+	if r.Ratio() != 0 {
+		t.Error("zero fast time should give ratio 0")
+	}
+}
+
+func TestNoiseArtifactExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("artifact run too slow for -short")
+	}
+	base := DefaultConfig()
+	base.Packets = 3
+	base.PSDULen = 60
+	base.WantedPowerDBm = -95 // below sensitivity
+	res, err := NoiseArtifactExperiment(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The artifact: without noise functions the co-simulation reports a
+	// (misleadingly) better BER than the noise-accurate behavioral run.
+	if !(res.CoSimNoNoiseBER < res.BehavioralBER) {
+		t.Errorf("artifact absent: cosim-no-noise %v vs behavioral %v",
+			res.CoSimNoNoiseBER, res.BehavioralBER)
+	}
+	// With the workaround the co-simulation degrades again.
+	if !(res.CoSimWithNoiseBER > res.CoSimNoNoiseBER) {
+		t.Errorf("noise workaround had no effect: %v vs %v",
+			res.CoSimWithNoiseBER, res.CoSimNoNoiseBER)
+	}
+}

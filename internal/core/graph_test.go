@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestSystemGraphMatchesDirectRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Packets = 2
+	cfg.PSDULen = 80
+	bench, err := NewBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := bench.BuildSystemGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER() != 0 {
+		t.Errorf("graph-executed scenario BER %v", res.BER())
+	}
+	if res.Counter.Packets != 2 {
+		t.Errorf("decoded %d packets", res.Counter.Packets)
+	}
+}
+
+func TestSystemGraphWithAdjacentChannel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Packets = 1
+	cfg.PSDULen = 60
+	cfg.Interferers = []InterfererSpec{AdjacentChannelSpec(cfg.WantedPowerDBm)}
+	bench, err := NewBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := bench.BuildSystemGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := sys.Graph.BlockNames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The schematic contains the duplicated shifted transmitter (§4.1).
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	for _, want := range []string{"tx-wanted", "tx-adjacent-0", "shift-tx-adjacent-0", "air-sum", "rf-frontend", "adc-capture"} {
+		if !found[want] {
+			t.Errorf("schematic missing block %q (have %v)", want, names)
+		}
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER() > 0.01 {
+		t.Errorf("graph run with adjacent channel BER %v", res.BER())
+	}
+}
+
+func TestSystemGraphProbesDeselectedByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Packets = 1
+	cfg.PSDULen = 40
+	bench, _ := NewBench(cfg)
+	sys, err := bench.BuildSystemGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enable the baseband probe, run, and expect samples.
+	sys.BasebandProbe.Enabled = true
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.BasebandProbe.Samples) == 0 {
+		t.Error("enabled probe recorded nothing")
+	}
+	if len(sys.AntennaProbe.Samples) != 0 {
+		t.Error("deselected probe recorded samples")
+	}
+}
+
+func TestSystemGraphRejectsUnsupportedOptions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FrontEnd = FrontEndIdeal
+	cfg.UseIdealRxTiming = true
+	bench, err := NewBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.BuildSystemGraph(); err == nil {
+		t.Error("accepted ideal RX timing in graph form")
+	}
+	cfg = DefaultConfig()
+	cfg.MultipathTaps = 3
+	bench, _ = NewBench(cfg)
+	if _, err := bench.BuildSystemGraph(); err == nil {
+		t.Error("accepted multipath in graph form")
+	}
+}
+
+func TestSystemGraphChannelNoiseBlock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FrontEnd = FrontEndIdeal
+	cfg.Packets = 1
+	cfg.PSDULen = 40
+	snr := 3.0
+	cfg.ChannelSNRdB = &snr
+	bench, _ := NewBench(cfg)
+	sys, err := bench.BuildSystemGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BER() < 0.05 {
+		t.Errorf("graph run at 3 dB SNR gave BER %v", res.BER())
+	}
+}

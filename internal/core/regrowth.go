@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wlansim/internal/bits"
+	"wlansim/internal/dsp"
+	"wlansim/internal/phy"
+	"wlansim/internal/rf"
+	"wlansim/internal/units"
+)
+
+// Transmit-side spectral regrowth: how much PA backoff the OFDM waveform
+// needs before the clause-17 transmit mask is met. This is the TX-side
+// counterpart of the paper's receiver nonlinearity studies — the same cubic
+// PA model, the same mask instrument.
+
+// RegrowthPoint is one backoff setting of the sweep.
+type RegrowthPoint struct {
+	// BackoffDB is the PA input backoff from its 1 dB compression point
+	// (output-power head-room; larger is more linear).
+	BackoffDB float64
+	// MaskViolations counts mask bins exceeded after the PA.
+	MaskViolations int
+	// WorstExcessDB is the largest mask overshoot (0 when compliant).
+	WorstExcessDB float64
+	// PAPRdB is the waveform's peak-to-average ratio at the PA input.
+	PAPRdB float64
+}
+
+// SpectralRegrowthSweep drives an oversampled 802.11a burst through a cubic
+// PA at decreasing backoff and checks the clause-17 mask at each point. It
+// returns the sweep (ascending backoff) — the crossover where violations
+// reach zero is the required PA headroom.
+func SpectralRegrowthSweep(rateMbps int, backoffsDB []float64, seed int64) ([]RegrowthPoint, error) {
+	if len(backoffsDB) == 0 {
+		return nil, fmt.Errorf("core: no backoff points")
+	}
+	tx, err := phy.NewTransmitter(rateMbps)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	frame, err := tx.Transmit(bits.RandomBytes(rng, 500))
+	if err != nil {
+		return nil, err
+	}
+	up, err := dsp.NewUpsampler(4, 255)
+	if err != nil {
+		return nil, err
+	}
+	base := up.Process(frame.Samples)
+	const fs = 80e6
+	const paCP = 0.0 // PA input 1 dB compression point, dBm (arbitrary ref)
+	mask := phy.TransmitMask()
+
+	out := make([]RegrowthPoint, 0, len(backoffsDB))
+	for _, bo := range backoffsDB {
+		x := dsp.Clone(base)
+		units.SetPowerDBm(x, paCP-bo)
+		pt := RegrowthPoint{BackoffDB: bo, PAPRdB: units.PAPRdB(x)}
+		pa, err := rf.NewAmplifier(rf.AmplifierConfig{
+			Name: "PA", GainDB: 20, Model: rf.Rapp,
+			UseCompression: true, CompressionDBm: paCP,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pa.Process(x)
+		viol, err := mask.CheckMask(x, fs)
+		if err != nil {
+			return nil, err
+		}
+		pt.MaskViolations = len(viol)
+		for _, v := range viol {
+			if e := v.ExcessDB(); e > pt.WorstExcessDB {
+				pt.WorstExcessDB = e
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RequiredBackoffDB returns the smallest backoff in the sweep that meets the
+// mask, or an error when none does.
+func RequiredBackoffDB(points []RegrowthPoint) (float64, error) {
+	best := 0.0
+	found := false
+	for _, p := range points {
+		if p.MaskViolations == 0 && (!found || p.BackoffDB < best) {
+			best = p.BackoffDB
+			found = true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("core: no swept backoff meets the mask")
+	}
+	return best, nil
+}

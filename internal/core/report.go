@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"wlansim/internal/bits"
+	"wlansim/internal/dsp"
+	"wlansim/internal/phy"
+	"wlansim/internal/rf"
+)
+
+// VerificationReport aggregates the receiver sign-off checks the paper's
+// methodology is built for: the Friis link budget, the wanted input range,
+// nominal BER/EVM through the behavioral front end, a spot adjacent-channel
+// rejection check, and the transmit-side spectral mask — one pass/fail
+// summary per item.
+
+// ReportItem is one line of the verification report.
+type ReportItem struct {
+	// Name identifies the check.
+	Name string
+	// Pass is the verdict.
+	Pass bool
+	// Detail carries the measured numbers.
+	Detail string
+}
+
+// VerificationReport is the aggregated sign-off summary.
+type VerificationReport struct {
+	Items []ReportItem
+}
+
+// Pass reports whether every item passed.
+func (r *VerificationReport) Pass() bool {
+	for _, i := range r.Items {
+		if !i.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report.
+func (r *VerificationReport) String() string {
+	var b strings.Builder
+	for _, i := range r.Items {
+		verdict := "FAIL"
+		if i.Pass {
+			verdict = "PASS"
+		}
+		fmt.Fprintf(&b, "[%s] %-24s %s\n", verdict, i.Name, i.Detail)
+	}
+	overall := "FAIL"
+	if r.Pass() {
+		overall = "PASS"
+	}
+	fmt.Fprintf(&b, "overall: %s\n", overall)
+	return b.String()
+}
+
+// RunVerificationReport executes the sign-off suite with the given base
+// scenario (its Packets/PSDULen bound each check's cost).
+func RunVerificationReport(base Config) (*VerificationReport, error) {
+	rep := &VerificationReport{}
+	add := func(name string, pass bool, detail string) {
+		rep.Items = append(rep.Items, ReportItem{Name: name, Pass: pass, Detail: detail})
+	}
+
+	// 1. Link budget: Friis sensitivity at or below the paper's -88 dBm.
+	rxCfg := rf.DefaultReceiverConfig(1)
+	rx, err := rf.NewReceiver(rxCfg)
+	if err != nil {
+		return nil, err
+	}
+	cas, err := rx.Cascade()
+	if err != nil {
+		return nil, err
+	}
+	sens := cas.SensitivityDBm(20e6, 10)
+	add("link budget", sens <= -88,
+		fmt.Sprintf("NF %.2f dB, IIP3 %.1f dBm, sensitivity %.1f dBm (spec -88)",
+			cas.NoiseFigureDB, cas.IIP3DBm, sens))
+
+	// 2. Nominal link: behavioral front end at the default operating point.
+	bench, err := NewBench(base)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bench.Run()
+	if err != nil {
+		return nil, err
+	}
+	add("nominal link", res.BER() == 0,
+		fmt.Sprintf("%d Mbps at %g dBm: BER %.3g, EVM %.2f%%",
+			base.RateMbps, base.WantedPowerDBm, res.BER(), res.EVM.Percent()))
+
+	// 3. Input range corners (§2.2).
+	rng, err := InputRangeCheck(base)
+	if err != nil {
+		return nil, err
+	}
+	add("input range -88..-23", rng.Pass(),
+		fmt.Sprintf("BER %.2g at -88 dBm (6 Mbps), %.2g at -23 dBm (24 Mbps)",
+			rng.LowCornerBER, rng.HighCornerBER))
+
+	// 4. Adjacent channel rejection spot check at the base rate.
+	acr, err := MeasureACR(base, base.RateMbps)
+	if err != nil {
+		return nil, err
+	}
+	add("adjacent rejection", acr.Pass(),
+		fmt.Sprintf("%.1f dB measured vs %.1f dB required (17.3.10.2)",
+			acr.RejectionDB, acr.RequiredDB))
+
+	// 5. Transmit spectral mask of a clean burst.
+	tx, err := phy.NewTransmitter(base.RateMbps)
+	if err != nil {
+		return nil, err
+	}
+	frame, err := tx.Transmit(bits.RandomBytes(rand.New(rand.NewSource(base.Seed)), 400))
+	if err != nil {
+		return nil, err
+	}
+	up, err := dsp.NewUpsampler(4, 255)
+	if err != nil {
+		return nil, err
+	}
+	viol, err := phy.TransmitMask().CheckMask(up.Process(frame.Samples), 80e6)
+	if err != nil {
+		return nil, err
+	}
+	add("transmit mask", len(viol) == 0, fmt.Sprintf("%d violating bins", len(viol)))
+
+	return rep, nil
+}

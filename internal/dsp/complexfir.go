@@ -1,0 +1,91 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ComplexFIR is a finite-impulse-response filter with complex coefficients
+// and streaming state — needed to realize asymmetric (non-conjugate-
+// symmetric) frequency responses such as an extracted receiver black-box.
+type ComplexFIR struct {
+	taps  []complex128
+	delay []complex128
+	pos   int
+}
+
+// NewComplexFIR builds a streaming filter from complex taps.
+func NewComplexFIR(taps []complex128) (*ComplexFIR, error) {
+	if len(taps) == 0 {
+		return nil, fmt.Errorf("dsp: complex FIR requires at least one tap")
+	}
+	t := make([]complex128, len(taps))
+	copy(t, taps)
+	return &ComplexFIR{taps: t, delay: make([]complex128, len(taps))}, nil
+}
+
+// Taps returns a copy of the coefficients.
+func (f *ComplexFIR) Taps() []complex128 {
+	out := make([]complex128, len(f.taps))
+	copy(out, f.taps)
+	return out
+}
+
+// Reset clears the filter state.
+func (f *ComplexFIR) Reset() {
+	for i := range f.delay {
+		f.delay[i] = 0
+	}
+	f.pos = 0
+}
+
+// ProcessSample filters one sample.
+func (f *ComplexFIR) ProcessSample(x complex128) complex128 {
+	f.delay[f.pos] = x
+	var acc complex128
+	idx := f.pos
+	for _, t := range f.taps {
+		acc += f.delay[idx] * t
+		idx--
+		if idx < 0 {
+			idx = len(f.delay) - 1
+		}
+	}
+	f.pos++
+	if f.pos == len(f.delay) {
+		f.pos = 0
+	}
+	return acc
+}
+
+// Process filters a frame in place and returns it.
+func (f *ComplexFIR) Process(x []complex128) []complex128 {
+	for i, v := range x {
+		x[i] = f.ProcessSample(v)
+	}
+	return x
+}
+
+// Response evaluates the frequency response at normalized frequency nu.
+func (f *ComplexFIR) Response(nu float64) complex128 {
+	var h complex128
+	for n, t := range f.taps {
+		h += t * cmplx.Exp(complex(0, -2*math.Pi*nu*float64(n)))
+	}
+	return h
+}
+
+// FIRFromFrequencyResponse designs complex FIR taps whose response matches
+// the given samples h[k] at the uniform normalized frequency grid
+// nu_k = k/len(h) (FFT bin order, k = 0..N-1), via the inverse DFT. len(h)
+// must be a power of two. The response between grid points interpolates
+// smoothly when the underlying system's impulse response is shorter than
+// the grid.
+func FIRFromFrequencyResponse(h []complex128) (*ComplexFIR, error) {
+	if len(h) < 2 || len(h)&(len(h)-1) != 0 {
+		return nil, fmt.Errorf("dsp: frequency grid length %d not a power of two", len(h))
+	}
+	taps := IFFT(h)
+	return NewComplexFIR(taps)
+}

@@ -1,0 +1,142 @@
+// Package dsp provides the signal-processing primitives the simulator is
+// built on: FFTs, window functions, FIR and IIR filter design and filtering,
+// resampling, frequency shifting, correlation and spectral estimation.
+//
+// All routines operate on complex128 baseband samples. Filters carry
+// streaming state so that long signals can be processed frame by frame, which
+// is how the sim engine drives them.
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFTPlan caches the twiddle factors and bit-reversal permutation for a fixed
+// power-of-two transform size. A plan is safe for concurrent use once built.
+type FFTPlan struct {
+	n       int
+	twiddle []complex128 // exp(-2*pi*i*k/n) for k in [0, n/2)
+	rev     []int
+}
+
+// NewFFTPlan builds a plan for an n-point transform. n must be a power of two
+// and at least 1.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT size %d is not a power of two", n)
+	}
+	p := &FFTPlan{n: n}
+	p.twiddle = make([]complex128, n/2)
+	for k := range p.twiddle {
+		p.twiddle[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+	}
+	p.rev = make([]int, n)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+	}
+	return p, nil
+}
+
+// Size returns the transform length of the plan.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Forward computes the in-place forward DFT of x, which must have the plan's
+// length. The transform is unnormalized: X[k] = sum_n x[n] exp(-2*pi*i*k*n/N).
+func (p *FFTPlan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/N
+// normalization so that Inverse(Forward(x)) == x.
+func (p *FFTPlan) Inverse(x []complex128) {
+	p.transform(x, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+func (p *FFTPlan) transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("dsp: FFT input length %d does not match plan size %d", len(x), p.n))
+	}
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size / 2
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// FFT returns the forward DFT of x in a new slice. len(x) must be a power of
+// two.
+func FFT(x []complex128) []complex128 {
+	p, err := NewFFTPlan(len(x))
+	if err != nil {
+		panic(err)
+	}
+	out := make([]complex128, len(x))
+	copy(out, x)
+	p.Forward(out)
+	return out
+}
+
+// IFFT returns the normalized inverse DFT of x in a new slice. len(x) must be
+// a power of two.
+func IFFT(x []complex128) []complex128 {
+	p, err := NewFFTPlan(len(x))
+	if err != nil {
+		panic(err)
+	}
+	out := make([]complex128, len(x))
+	copy(out, x)
+	p.Inverse(out)
+	return out
+}
+
+// FFTShift rotates the spectrum so that the zero-frequency bin moves to the
+// center: for even n the output order is [n/2, ..., n-1, 0, ..., n/2-1].
+// The input is not modified.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// DFT computes the forward DFT directly in O(n^2). It accepts any length and
+// exists mainly as a reference for testing the FFT.
+func DFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for i := 0; i < n; i++ {
+			angle := -2 * math.Pi * float64(k) * float64(i) / float64(n)
+			sum += x[i] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}

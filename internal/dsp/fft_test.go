@@ -1,0 +1,196 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func maxAbsDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func randomSignal(r *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(r.NormFloat64(), r.NormFloat64())
+	}
+	return x
+}
+
+func TestNewFFTPlanRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 12, 100} {
+		if _, err := NewFFTPlan(n); err == nil {
+			t.Errorf("NewFFTPlan(%d) accepted a non-power-of-two size", n)
+		}
+	}
+	for _, n := range []int{1, 2, 64, 1024} {
+		if _, err := NewFFTPlan(n); err != nil {
+			t.Errorf("NewFFTPlan(%d): %v", n, err)
+		}
+	}
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randomSignal(r, n)
+		got := FFT(x)
+		want := DFT(x)
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: FFT differs from DFT by %g", n, d)
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 16, 128, 1024} {
+		x := randomSignal(r, n)
+		y := IFFT(FFT(x))
+		if d := maxAbsDiff(x, y); d > 1e-10*float64(n) {
+			t.Errorf("n=%d: round trip error %g", n, d)
+		}
+	}
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// Impulse transforms to all-ones.
+	x := []complex128{1, 0, 0, 0}
+	for i, v := range FFT(x) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse FFT bin %d = %v, want 1", i, v)
+		}
+	}
+	// Single complex tone at bin 1 of a 8-point transform.
+	n := 8
+	tone := make([]complex128, n)
+	for i := range tone {
+		tone[i] = cmplx.Exp(complex(0, 2*math.Pi*float64(i)/float64(n)))
+	}
+	ft := FFT(tone)
+	for k, v := range ft {
+		want := complex(0, 0)
+		if k == 1 {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Errorf("tone FFT bin %d = %v, want %v", k, v, want)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func(ar, ai, br, bi float64) bool {
+		a := complex(math.Mod(ar, 10), math.Mod(ai, 10))
+		b := complex(math.Mod(br, 10), math.Mod(bi, 10))
+		x := randomSignal(r, 64)
+		y := randomSignal(r, 64)
+		z := make([]complex128, 64)
+		for i := range z {
+			z[i] = a*x[i] + b*y[i]
+		}
+		fz := FFT(z)
+		fx := FFT(x)
+		fy := FFT(y)
+		for i := range fz {
+			if cmplx.Abs(fz[i]-(a*fx[i]+b*fy[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParsevalProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := func() bool {
+		x := randomSignal(r, 256)
+		fx := FFT(x)
+		et := Energy(x)
+		ef := Energy(fx) / 256
+		return math.Abs(et-ef) < 1e-8*et
+	}
+	for i := 0; i < 20; i++ {
+		if !f() {
+			t.Fatal("Parseval's theorem violated")
+		}
+	}
+}
+
+func TestFFTShift(t *testing.T) {
+	x := []complex128{0, 1, 2, 3}
+	got := FFTShift(x)
+	want := []complex128{2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FFTShift = %v, want %v", got, want)
+		}
+	}
+	// Odd length: [0 1 2 3 4] -> [3 4 0 1 2].
+	x5 := []complex128{0, 1, 2, 3, 4}
+	got5 := FFTShift(x5)
+	want5 := []complex128{3, 4, 0, 1, 2}
+	for i := range want5 {
+		if got5[i] != want5[i] {
+			t.Fatalf("FFTShift odd = %v, want %v", got5, want5)
+		}
+	}
+}
+
+func TestFFTPanicsOnWrongLength(t *testing.T) {
+	p, _ := NewFFTPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Error("Forward with wrong length did not panic")
+		}
+	}()
+	p.Forward(make([]complex128, 4))
+}
+
+func TestFFTPlanConcurrentUse(t *testing.T) {
+	// A plan is documented as safe for concurrent use: hammer one plan
+	// from several goroutines and verify every result.
+	p, err := NewFFTPlan(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(99))
+	inputs := make([][]complex128, 16)
+	wants := make([][]complex128, 16)
+	for i := range inputs {
+		inputs[i] = randomSignal(r, 256)
+		wants[i] = DFT(inputs[i])
+	}
+	done := make(chan error, len(inputs))
+	for i := range inputs {
+		go func(i int) {
+			buf := make([]complex128, 256)
+			copy(buf, inputs[i])
+			p.Forward(buf)
+			if d := maxAbsDiff(buf, wants[i]); d > 1e-8 {
+				done <- fmt.Errorf("goroutine %d: diff %g", i, d)
+				return
+			}
+			done <- nil
+		}(i)
+	}
+	for range inputs {
+		if err := <-done; err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter with real coefficients and
+// streaming complex state. The zero value is not usable; construct with
+// NewFIR or one of the design helpers.
+type FIR struct {
+	taps  []float64
+	delay []complex128 // circular buffer of past inputs
+	pos   int
+}
+
+// NewFIR builds a streaming filter from the given tap coefficients
+// (taps[0] multiplies the newest sample).
+func NewFIR(taps []float64) *FIR {
+	if len(taps) == 0 {
+		panic("dsp: FIR requires at least one tap")
+	}
+	t := make([]float64, len(taps))
+	copy(t, taps)
+	return &FIR{taps: t, delay: make([]complex128, len(taps))}
+}
+
+// Taps returns a copy of the filter coefficients.
+func (f *FIR) Taps() []float64 {
+	out := make([]float64, len(f.taps))
+	copy(out, f.taps)
+	return out
+}
+
+// Len returns the number of taps.
+func (f *FIR) Len() int { return len(f.taps) }
+
+// GroupDelay returns the delay in samples of a linear-phase (symmetric)
+// filter: (N-1)/2.
+func (f *FIR) GroupDelay() float64 { return float64(len(f.taps)-1) / 2 }
+
+// Reset clears the filter state.
+func (f *FIR) Reset() {
+	for i := range f.delay {
+		f.delay[i] = 0
+	}
+	f.pos = 0
+}
+
+// ProcessSample filters one sample, updating the internal state.
+func (f *FIR) ProcessSample(x complex128) complex128 {
+	f.delay[f.pos] = x
+	var acc complex128
+	idx := f.pos
+	for _, t := range f.taps {
+		acc += f.delay[idx] * complex(t, 0)
+		idx--
+		if idx < 0 {
+			idx = len(f.delay) - 1
+		}
+	}
+	f.pos++
+	if f.pos == len(f.delay) {
+		f.pos = 0
+	}
+	return acc
+}
+
+// Process filters a frame in place and returns it.
+func (f *FIR) Process(x []complex128) []complex128 {
+	for i, v := range x {
+		x[i] = f.ProcessSample(v)
+	}
+	return x
+}
+
+// Response evaluates the filter's frequency response at the normalized
+// frequency nu in cycles per sample (nu = f/fs, in [-0.5, 0.5]).
+func (f *FIR) Response(nu float64) complex128 {
+	var re, im float64
+	for n, t := range f.taps {
+		phase := -2 * math.Pi * nu * float64(n)
+		re += t * math.Cos(phase)
+		im += t * math.Sin(phase)
+	}
+	return complex(re, im)
+}
+
+// DesignLowpassFIR designs a linear-phase lowpass filter with the
+// windowed-sinc method. cutoff is the -6 dB edge as a fraction of the sample
+// rate (0 < cutoff < 0.5); taps is the filter length.
+func DesignLowpassFIR(taps int, cutoff float64, w Window) (*FIR, error) {
+	if taps < 1 {
+		return nil, fmt.Errorf("dsp: FIR length %d < 1", taps)
+	}
+	if cutoff <= 0 || cutoff >= 0.5 {
+		return nil, fmt.Errorf("dsp: FIR cutoff %g outside (0, 0.5)", cutoff)
+	}
+	h := make([]float64, taps)
+	mid := float64(taps-1) / 2
+	win := w.Coefficients(taps)
+	for n := range h {
+		t := float64(n) - mid
+		var s float64
+		if t == 0 {
+			s = 2 * cutoff
+		} else {
+			s = math.Sin(2*math.Pi*cutoff*t) / (math.Pi * t)
+		}
+		h[n] = s * win[n]
+	}
+	// Normalize for unit DC gain.
+	var sum float64
+	for _, v := range h {
+		sum += v
+	}
+	if sum != 0 {
+		for n := range h {
+			h[n] /= sum
+		}
+	}
+	return NewFIR(h), nil
+}
+
+// DesignHalfbandFIR designs a lowpass suitable for factor-2 rate changes,
+// with the cutoff at a quarter of the sample rate.
+func DesignHalfbandFIR(taps int, w Window) (*FIR, error) {
+	return DesignLowpassFIR(taps, 0.25, w)
+}
+
+// Convolve returns the full linear convolution of x and h
+// (length len(x)+len(h)-1).
+func Convolve(x []complex128, h []float64) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	out := make([]complex128, len(x)+len(h)-1)
+	for i, xv := range x {
+		for j, hv := range h {
+			out[i+j] += xv * complex(hv, 0)
+		}
+	}
+	return out
+}

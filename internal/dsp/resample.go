@@ -1,0 +1,172 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Upsampler increases the sample rate by an integer factor using zero
+// stuffing followed by an anti-imaging lowpass filter.
+type Upsampler struct {
+	factor int
+	filter *FIR
+}
+
+// NewUpsampler builds an upsampler for the given integer factor. taps sets
+// the anti-imaging filter length (per output rate); 0 selects a default.
+func NewUpsampler(factor, taps int) (*Upsampler, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: upsample factor %d < 1", factor)
+	}
+	if taps == 0 {
+		// Long enough that the transition band stays between the 802.11a
+		// occupied bandwidth (0.415 of the original Nyquist) and its first
+		// image — short interpolators leak images that alias back in-band
+		// after unfiltered decimation downstream.
+		taps = 48*factor + 1
+	}
+	var f *FIR
+	if factor > 1 {
+		var err error
+		// Cut at the original Nyquist, i.e. 0.5/factor of the new rate.
+		f, err = DesignLowpassFIR(taps, 0.5/float64(factor), Blackman)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Upsampler{factor: factor, filter: f}, nil
+}
+
+// Factor returns the rate-change factor.
+func (u *Upsampler) Factor() int { return u.factor }
+
+// Reset clears the filter state.
+func (u *Upsampler) Reset() {
+	if u.filter != nil {
+		u.filter.Reset()
+	}
+}
+
+// Process returns the upsampled signal (len(x)*factor samples). Zero stuffing
+// loses a factor of `factor` in amplitude, which the interpolation filter
+// compensates by an equal gain so the waveform amplitude is preserved.
+func (u *Upsampler) Process(x []complex128) []complex128 {
+	if u.factor == 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]complex128, len(x)*u.factor)
+	g := complex(float64(u.factor), 0)
+	for i, v := range x {
+		out[i*u.factor] = v * g
+	}
+	u.filter.Process(out)
+	return out
+}
+
+// Downsampler reduces the sample rate by an integer factor with an
+// anti-aliasing lowpass filter ahead of the decimation.
+type Downsampler struct {
+	factor int
+	filter *FIR
+	phase  int
+}
+
+// NewDownsampler builds a decimator for the given integer factor. taps sets
+// the anti-aliasing filter length; 0 selects a default. If filtered is false
+// the decimator picks raw samples (used to model deliberate aliasing, e.g.
+// an ADC sampling an insufficiently filtered signal).
+func NewDownsampler(factor, taps int, filtered bool) (*Downsampler, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("dsp: downsample factor %d < 1", factor)
+	}
+	d := &Downsampler{factor: factor}
+	if factor > 1 && filtered {
+		if taps == 0 {
+			taps = 48*factor + 1
+		}
+		f, err := DesignLowpassFIR(taps, 0.5/float64(factor), Blackman)
+		if err != nil {
+			return nil, err
+		}
+		d.filter = f
+	}
+	return d, nil
+}
+
+// Factor returns the rate-change factor.
+func (d *Downsampler) Factor() int { return d.factor }
+
+// Reset clears the filter state and decimation phase.
+func (d *Downsampler) Reset() {
+	if d.filter != nil {
+		d.filter.Reset()
+	}
+	d.phase = 0
+}
+
+// Process returns the decimated signal. The decimation phase persists across
+// calls so frame boundaries do not disturb the output grid.
+func (d *Downsampler) Process(x []complex128) []complex128 {
+	out := make([]complex128, 0, len(x)/d.factor+1)
+	for _, v := range x {
+		if d.filter != nil {
+			v = d.filter.ProcessSample(v)
+		}
+		if d.phase == 0 {
+			out = append(out, v)
+		}
+		d.phase++
+		if d.phase == d.factor {
+			d.phase = 0
+		}
+	}
+	return out
+}
+
+// Oscillator is a numerically controlled oscillator producing
+// exp(i*(2*pi*nu*n + phase0)) used for frequency shifting. The phase persists
+// across frames.
+type Oscillator struct {
+	step  complex128
+	state complex128
+}
+
+// NewOscillator creates an oscillator at normalized frequency nu (cycles per
+// sample, may be negative) and initial phase in radians.
+func NewOscillator(nu, phase float64) *Oscillator {
+	return &Oscillator{
+		step:  cmplx.Exp(complex(0, 2*math.Pi*nu)),
+		state: cmplx.Exp(complex(0, phase)),
+	}
+}
+
+// Next returns the current oscillator sample and advances the phase.
+func (o *Oscillator) Next() complex128 {
+	v := o.state
+	o.state *= o.step
+	// Renormalize occasionally to counter numeric drift.
+	if m := cmplx.Abs(o.state); m < 0.999999 || m > 1.000001 {
+		o.state /= complex(m, 0)
+	}
+	return v
+}
+
+// MixInto multiplies x in place by the oscillator output and returns x
+// (a complex frequency shift by +nu cycles per sample).
+func (o *Oscillator) MixInto(x []complex128) []complex128 {
+	for i := range x {
+		x[i] *= o.Next()
+	}
+	return x
+}
+
+// FrequencyShift returns a copy of x shifted by nu cycles per sample.
+func FrequencyShift(x []complex128, nu float64) []complex128 {
+	out := make([]complex128, len(x))
+	copy(out, x)
+	NewOscillator(nu, 0).MixInto(out)
+	return out
+}

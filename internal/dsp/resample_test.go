@@ -1,0 +1,186 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func tone(n int, nu float64) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Exp(complex(0, 2*math.Pi*nu*float64(i)))
+	}
+	return x
+}
+
+// dominantBin returns the FFT bin with maximum magnitude.
+func dominantBin(x []complex128) int {
+	fx := FFT(x)
+	best, bestMag := 0, 0.0
+	for i, v := range fx {
+		if m := cmplx.Abs(v); m > bestMag {
+			best, bestMag = i, m
+		}
+	}
+	return best
+}
+
+func TestUpsamplerPreservesTone(t *testing.T) {
+	// A tone at nu=1/16 upsampled by 4 must appear at nu=1/64.
+	u, err := NewUpsampler(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := tone(256, 1.0/16)
+	y := u.Process(x)
+	if len(y) != 1024 {
+		t.Fatalf("output length %d, want 1024", len(y))
+	}
+	// Skip the filter transient, then check the dominant frequency.
+	if bin := dominantBin(y[256:768]); bin != 8 { // 512 * 1/64 = 8
+		t.Errorf("dominant bin %d, want 8", bin)
+	}
+	// Amplitude preserved within 5%.
+	p := Energy(y[256:768]) / 512
+	if math.Abs(p-1) > 0.05 {
+		t.Errorf("tone power after upsampling %v, want ~1", p)
+	}
+}
+
+func TestUpsamplerFactorOneIsCopy(t *testing.T) {
+	u, _ := NewUpsampler(1, 0)
+	x := []complex128{1, 2i, 3}
+	y := u.Process(x)
+	if maxAbsDiff(x, y) != 0 {
+		t.Error("factor-1 upsampler altered the signal")
+	}
+	y[0] = 99
+	if x[0] == 99 {
+		t.Error("factor-1 upsampler aliased the input slice")
+	}
+}
+
+func TestDownsamplerRemovesOutOfBandTone(t *testing.T) {
+	// Signal: in-band tone at nu=0.05 plus out-of-band tone at nu=0.4.
+	// After filtered decimation by 4 the out-of-band tone must be gone.
+	n := 2048
+	x := make([]complex128, n)
+	inband := tone(n, 0.05)
+	outband := tone(n, 0.4)
+	for i := range x {
+		x[i] = inband[i] + outband[i]
+	}
+	d, err := NewDownsampler(4, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := d.Process(x)
+	if len(y) != n/4 {
+		t.Fatalf("output length %d, want %d", len(y), n/4)
+	}
+	// In the decimated domain the in-band tone sits at nu=0.2.
+	seg := y[128:384]
+	bin := dominantBin(seg)
+	want := 51 // round(0.2 * 256)
+	if bin != want {
+		t.Errorf("dominant bin %d, want %d", bin, want)
+	}
+	// The aliased image of the 0.4 tone would land at nu=0.4*4 mod 1 = 0.6
+	// (bin 154 of 256); its power must be heavily suppressed.
+	fy := FFT(Clone(seg))
+	alias := cmplx.Abs(fy[154]) // round(0.6 * 256)
+	main := cmplx.Abs(fy[want])
+	if alias > main/100 {
+		t.Errorf("alias %v not suppressed vs main %v", alias, main)
+	}
+}
+
+func TestUnfilteredDownsamplerAliases(t *testing.T) {
+	// Without the anti-aliasing filter the out-of-band tone folds in-band.
+	n := 2048
+	x := tone(n, 0.4)
+	d, err := NewDownsampler(4, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := d.Process(x)
+	// 0.4*4 = 1.6 -> folds to 0.6 (equivalently -0.4): full power remains.
+	p := Energy(y) / float64(len(y))
+	if p < 0.9 {
+		t.Errorf("aliased tone power %v, want ~1", p)
+	}
+}
+
+func TestDownsamplerPhasePersistsAcrossFrames(t *testing.T) {
+	d1, _ := NewDownsampler(3, 0, false)
+	d2, _ := NewDownsampler(3, 0, false)
+	x := make([]complex128, 30)
+	for i := range x {
+		x[i] = complex(float64(i), 0)
+	}
+	batch := d1.Process(Clone(x))
+	var stream []complex128
+	for start := 0; start < len(x); start += 7 {
+		end := start + 7
+		if end > len(x) {
+			end = len(x)
+		}
+		stream = append(stream, d2.Process(Clone(x[start:end]))...)
+	}
+	if len(batch) != len(stream) {
+		t.Fatalf("lengths differ: %d vs %d", len(batch), len(stream))
+	}
+	if maxAbsDiff(batch, stream) != 0 {
+		t.Errorf("frame-wise decimation differs: %v vs %v", stream, batch)
+	}
+}
+
+func TestResamplerValidation(t *testing.T) {
+	if _, err := NewUpsampler(0, 0); err == nil {
+		t.Error("accepted upsample factor 0")
+	}
+	if _, err := NewDownsampler(0, 0, true); err == nil {
+		t.Error("accepted downsample factor 0")
+	}
+}
+
+func TestOscillatorFrequency(t *testing.T) {
+	// 1024 samples of a nu=1/32 oscillator: dominant FFT bin 32.
+	o := NewOscillator(1.0/32, 0)
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = o.Next()
+	}
+	if bin := dominantBin(x); bin != 32 {
+		t.Errorf("dominant bin %d, want 32", bin)
+	}
+}
+
+func TestOscillatorAmplitudeStable(t *testing.T) {
+	o := NewOscillator(0.01234, 0.5)
+	for i := 0; i < 1_000_000; i++ {
+		o.Next()
+	}
+	if m := cmplx.Abs(o.Next()); math.Abs(m-1) > 1e-6 {
+		t.Errorf("oscillator amplitude drifted to %v", m)
+	}
+}
+
+func TestFrequencyShiftRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	x := randomSignal(r, 512)
+	y := FrequencyShift(FrequencyShift(x, 0.123), -0.123)
+	if d := maxAbsDiff(x, y); d > 1e-9 {
+		t.Errorf("shift round trip error %g", d)
+	}
+}
+
+func TestFrequencyShiftMovesTone(t *testing.T) {
+	x := tone(512, 1.0/64) // bin 8
+	y := FrequencyShift(x, 1.0/32)
+	if bin := dominantBin(y); bin != 24 { // 8 + 16
+		t.Errorf("shifted bin %d, want 24", bin)
+	}
+}

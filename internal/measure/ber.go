@@ -1,0 +1,102 @@
+// Package measure provides the evaluation instruments of the paper's §5:
+// bit-error-rate counting with confidence intervals, error vector magnitude,
+// spectrum estimation, and generic parameter-sweep result containers used to
+// regenerate the paper's figures and tables.
+package measure
+
+import (
+	"fmt"
+	"math"
+)
+
+// BERCounter accumulates bit- and packet-error statistics.
+type BERCounter struct {
+	// Bits is the number of compared bits.
+	Bits int
+	// Errors is the number of bit errors.
+	Errors int
+	// Packets is the number of compared packets.
+	Packets int
+	// PacketErrors is the number of packets with at least one bit error
+	// (lost packets count too).
+	PacketErrors int
+	// LostPackets is the number of packets the receiver failed to deliver
+	// at all (sync or SIGNAL failure).
+	LostPackets int
+}
+
+// AddPacket compares one packet's reference and received bits.
+func (c *BERCounter) AddPacket(ref, got []byte) {
+	n := len(ref)
+	if len(got) < n {
+		n = len(got)
+	}
+	errs := 0
+	for i := 0; i < n; i++ {
+		if ref[i] != got[i] {
+			errs++
+		}
+	}
+	errs += len(ref) - n // missing bits are errors
+	c.Bits += len(ref)
+	c.Errors += errs
+	c.Packets++
+	if errs > 0 {
+		c.PacketErrors++
+	}
+}
+
+// AddLostPacket records a packet the receiver never delivered. Its bits
+// count as 50% errors — the error rate of guessing — so an undecodable link
+// saturates at BER 0.5 like the paper's figures.
+func (c *BERCounter) AddLostPacket(refBits int) {
+	c.Bits += refBits
+	c.Errors += refBits / 2
+	c.Packets++
+	c.PacketErrors++
+	c.LostPackets++
+}
+
+// BER returns the bit error rate (0 when nothing was counted).
+func (c *BERCounter) BER() float64 {
+	if c.Bits == 0 {
+		return 0
+	}
+	return float64(c.Errors) / float64(c.Bits)
+}
+
+// PER returns the packet error rate.
+func (c *BERCounter) PER() float64 {
+	if c.Packets == 0 {
+		return 0
+	}
+	return float64(c.PacketErrors) / float64(c.Packets)
+}
+
+// ConfidenceInterval95 returns the Wilson 95% score interval for the BER.
+func (c *BERCounter) ConfidenceInterval95() (lo, hi float64) {
+	if c.Bits == 0 {
+		return 0, 0
+	}
+	const z = 1.959963984540054
+	n := float64(c.Bits)
+	p := c.BER()
+	den := 1 + z*z/n
+	center := (p + z*z/(2*n)) / den
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / den
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String summarizes the counter.
+func (c *BERCounter) String() string {
+	return fmt.Sprintf("BER %.3g (%d/%d bits), PER %.3g (%d/%d packets, %d lost)",
+		c.BER(), c.Errors, c.Bits, c.PER(), c.PacketErrors, c.Packets, c.LostPackets)
+}

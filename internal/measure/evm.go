@@ -1,0 +1,100 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+
+	"wlansim/internal/phy"
+)
+
+// EVMResult summarizes an error-vector-magnitude measurement over equalized
+// constellation points (paper §5.2: the distance between each received
+// symbol and its ideal constellation point, before Viterbi decoding).
+type EVMResult struct {
+	// RMS is the root-mean-square error vector magnitude normalized to the
+	// constellation's rms symbol amplitude (a fraction, not percent).
+	RMS float64
+	// Peak is the largest single-symbol EVM.
+	Peak float64
+	// Symbols is the number of measured constellation points.
+	Symbols int
+}
+
+// DB returns the rms EVM in dB (20*log10).
+func (r EVMResult) DB() float64 {
+	if r.RMS <= 0 {
+		return math.Inf(-1)
+	}
+	return 20 * math.Log10(r.RMS)
+}
+
+// Percent returns the rms EVM in percent.
+func (r EVMResult) Percent() float64 { return r.RMS * 100 }
+
+// String formats the result.
+func (r EVMResult) String() string {
+	return fmt.Sprintf("EVM %.2f%% (%.1f dB) over %d symbols", r.Percent(), r.DB(), r.Symbols)
+}
+
+// EVM measures the blind (decision-directed) EVM of equalized data carriers:
+// each point is compared against the nearest constellation point of the
+// given modulation. carriers holds one slice of 48 points per OFDM symbol.
+func EVM(carriers [][]complex128, m phy.Modulation) (EVMResult, error) {
+	var res EVMResult
+	var acc float64
+	for _, sym := range carriers {
+		hard, err := phy.DemapHard(sym, m)
+		if err != nil {
+			return res, err
+		}
+		ideal, err := phy.MapBits(hard, m)
+		if err != nil {
+			return res, err
+		}
+		for i, y := range sym {
+			d := y - ideal[i]
+			e2 := real(d)*real(d) + imag(d)*imag(d)
+			acc += e2
+			if e := math.Sqrt(e2); e > res.Peak {
+				res.Peak = e
+			}
+			res.Symbols++
+		}
+	}
+	if res.Symbols == 0 {
+		return res, fmt.Errorf("measure: no symbols for EVM")
+	}
+	// Unit-energy constellations: normalization amplitude is 1.
+	res.RMS = math.Sqrt(acc / float64(res.Symbols))
+	return res, nil
+}
+
+// EVMDataAided measures EVM against the known transmitted constellation
+// points, avoiding decision errors at low SNR. ref must be the same shape as
+// carriers.
+func EVMDataAided(carriers, ref [][]complex128) (EVMResult, error) {
+	var res EVMResult
+	var acc float64
+	if len(carriers) != len(ref) {
+		return res, fmt.Errorf("measure: EVM reference shape mismatch (%d vs %d symbols)", len(carriers), len(ref))
+	}
+	for s := range carriers {
+		if len(carriers[s]) != len(ref[s]) {
+			return res, fmt.Errorf("measure: EVM reference shape mismatch at symbol %d", s)
+		}
+		for i, y := range carriers[s] {
+			d := y - ref[s][i]
+			e2 := real(d)*real(d) + imag(d)*imag(d)
+			acc += e2
+			if e := math.Sqrt(e2); e > res.Peak {
+				res.Peak = e
+			}
+			res.Symbols++
+		}
+	}
+	if res.Symbols == 0 {
+		return res, fmt.Errorf("measure: no symbols for EVM")
+	}
+	res.RMS = math.Sqrt(acc / float64(res.Symbols))
+	return res, nil
+}

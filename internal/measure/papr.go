@@ -1,0 +1,62 @@
+package measure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PAPR analysis: the complementary cumulative distribution of the OFDM
+// envelope's peak-to-average power ratio — the standard figure used to size
+// PA backoff and ADC headroom.
+
+// PAPRCCDF computes the CCDF of per-window PAPR: the waveform is split into
+// windows of windowLen samples (an OFDM symbol, typically 80), each window's
+// PAPR is computed against the global mean power, and the CCDF
+// P(PAPR > x) is evaluated on a 0.5 dB grid up to the observed maximum.
+func PAPRCCDF(x []complex128, windowLen int) (*Series, error) {
+	if windowLen < 1 {
+		return nil, fmt.Errorf("measure: PAPR window %d < 1", windowLen)
+	}
+	if len(x) < windowLen {
+		return nil, fmt.Errorf("measure: signal shorter than one window")
+	}
+	var mean float64
+	for _, v := range x {
+		mean += real(v)*real(v) + imag(v)*imag(v)
+	}
+	mean /= float64(len(x))
+	if mean <= 0 {
+		return nil, fmt.Errorf("measure: zero-power signal")
+	}
+	var paprs []float64
+	for start := 0; start+windowLen <= len(x); start += windowLen {
+		var peak float64
+		for _, v := range x[start : start+windowLen] {
+			if p := real(v)*real(v) + imag(v)*imag(v); p > peak {
+				peak = p
+			}
+		}
+		if peak > 0 {
+			paprs = append(paprs, 10*math.Log10(peak/mean))
+		}
+	}
+	if len(paprs) == 0 {
+		return nil, fmt.Errorf("measure: no usable windows")
+	}
+	sort.Float64s(paprs)
+	maxP := paprs[len(paprs)-1]
+
+	s := &Series{
+		Label:  "PAPR CCDF",
+		XLabel: "PAPR threshold (dB)",
+		YLabel: "P(PAPR > x)",
+	}
+	n := float64(len(paprs))
+	for x0 := 0.0; x0 <= maxP+0.5; x0 += 0.5 {
+		// Count windows above the threshold.
+		idx := sort.SearchFloat64s(paprs, x0)
+		s.Add(x0, float64(len(paprs)-idx)/n)
+	}
+	return s, nil
+}

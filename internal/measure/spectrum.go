@@ -1,0 +1,81 @@
+package measure
+
+import (
+	"fmt"
+	"strings"
+
+	"wlansim/internal/dsp"
+	"wlansim/internal/units"
+)
+
+// Spectrum estimates and formats power spectral densities — the instrument
+// behind the paper's Figure 4 (OFDM signal with adjacent channel).
+type Spectrum struct {
+	// SegmentLength is the Welch segment size (power of two, default 1024).
+	SegmentLength int
+	// Window tapers the segments (default Blackman).
+	Window dsp.Window
+}
+
+// NewSpectrum returns an analyzer with default settings.
+func NewSpectrum() *Spectrum {
+	return &Spectrum{SegmentLength: 1024, Window: dsp.Blackman}
+}
+
+// Analyze estimates the two-sided PSD of x at the given sample rate.
+func (s *Spectrum) Analyze(x []complex128, sampleRateHz float64) (*dsp.PSD, error) {
+	seg := s.SegmentLength
+	if seg == 0 {
+		seg = 1024
+	}
+	for seg > 2 && len(x) < seg {
+		seg /= 2
+	}
+	return dsp.WelchPSD(x, sampleRateHz, seg, s.Window)
+}
+
+// SeriesDBm converts a PSD to a Series in dBm per resolution bandwidth,
+// decimating to at most maxPoints points and offsetting the frequency axis
+// by centerHz (pass the RF carrier to plot at 5.2 GHz like Figure 4).
+func SeriesDBm(p *dsp.PSD, centerHz float64, maxPoints int) *Series {
+	s := &Series{
+		Label:  "PSD",
+		XLabel: "frequency [Hz]",
+		YLabel: "power density [dBm/Hz]",
+	}
+	step := 1
+	if maxPoints > 0 && len(p.FreqHz) > maxPoints {
+		step = len(p.FreqHz) / maxPoints
+	}
+	for i := 0; i < len(p.FreqHz); i += step {
+		s.Points = append(s.Points, Point{X: centerHz + p.FreqHz[i], Y: p.DBmPerHz(i)})
+	}
+	return s
+}
+
+// ChannelPowerReport integrates the PSD over the wanted channel and its
+// first and second adjacent channels (20 MHz raster) and reports the powers
+// in dBm, reproducing the level relationships of Figure 4.
+type ChannelPowerReport struct {
+	WantedDBm         float64
+	AdjacentDBm       float64 // +20 MHz
+	SecondAdjacentDBm float64 // +40 MHz
+}
+
+// ChannelPowers integrates 18 MHz-wide channels on the 20 MHz raster.
+func ChannelPowers(p *dsp.PSD) ChannelPowerReport {
+	half := 9e6
+	return ChannelPowerReport{
+		WantedDBm:         units.WattsToDBm(p.BandPowerW(-half, half)),
+		AdjacentDBm:       units.WattsToDBm(p.BandPowerW(20e6-half, 20e6+half)),
+		SecondAdjacentDBm: units.WattsToDBm(p.BandPowerW(40e6-half, 40e6+half)),
+	}
+}
+
+// String formats the report.
+func (r ChannelPowerReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wanted %.1f dBm, adjacent %.1f dBm, 2nd adjacent %.1f dBm",
+		r.WantedDBm, r.AdjacentDBm, r.SecondAdjacentDBm)
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package measure
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one (x, y) sample of a swept measurement.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve: one line of a figure.
+type Series struct {
+	// Label names the curve (e.g. "adjacent channel").
+	Label string
+	// XLabel and YLabel document the axes.
+	XLabel string
+	YLabel string
+	// Points holds the sweep samples in X order.
+	Points []Point
+}
+
+// Add appends a point, keeping the series sorted by X.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// Min returns the point with the smallest Y (zero Point for an empty series).
+func (s *Series) Min() Point {
+	var best Point
+	for i, p := range s.Points {
+		if i == 0 || p.Y < best.Y {
+			best = p
+		}
+	}
+	return best
+}
+
+// Max returns the point with the largest Y.
+func (s *Series) Max() Point {
+	var best Point
+	for i, p := range s.Points {
+		if i == 0 || p.Y > best.Y {
+			best = p
+		}
+	}
+	return best
+}
+
+// YAt returns the Y value at the given X (exact match) and whether it exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a collection of series sharing axes — one paper figure.
+type Figure struct {
+	// Title names the figure (e.g. "Figure 5: BER vs filter bandwidth").
+	Title  string
+	Series []*Series
+}
+
+// AddSeries appends and returns a new series.
+func (f *Figure) AddSeries(label, xLabel, yLabel string) *Series {
+	s := &Series{Label: label, XLabel: xLabel, YLabel: yLabel}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// String renders the figure as an aligned text table, one row per X value
+// and one column per series, matching how the harness prints reproduced
+// figures.
+func (f *Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	// Collect the union of X values.
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	fmt.Fprintf(&b, "%-14s", f.Series[0].XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %-22s", s.Label)
+	}
+	b.WriteString("\n")
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%-14.6g", x)
+		for _, s := range f.Series {
+			if y, ok := s.YAt(x); ok {
+				fmt.Fprintf(&b, "  %-22.6g", y)
+			} else {
+				fmt.Fprintf(&b, "  %-22s", "-")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,196 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+)
+
+// grayAxis maps the bit group b to the amplitude level for an axis with 2^n
+// levels, per clause 17.3.5.7. The label's LSB is the first transmitted bit,
+// so the clause's bit string "b0 b1 (b2)" reads from bit 0 upward.
+func grayAxis(b int, n int) float64 {
+	switch n {
+	case 1:
+		return float64(2*b - 1) // 0 -> -1, 1 -> +1
+	case 2:
+		// b0 b1: 00 -> -3, 01 -> -1, 11 -> +1, 10 -> +3.
+		switch b {
+		case 0b00: // b0=0 b1=0
+			return -3
+		case 0b10: // b0=0 b1=1
+			return -1
+		case 0b11: // b0=1 b1=1
+			return 1
+		default: // 0b01: b0=1 b1=0
+			return 3
+		}
+	case 3:
+		// b0 b1 b2: 000,001,011,010,110,111,101,100 -> -7..+7.
+		switch b {
+		case 0b000: // 000
+			return -7
+		case 0b100: // 001
+			return -5
+		case 0b110: // 011
+			return -3
+		case 0b010: // 010
+			return -1
+		case 0b011: // 110
+			return 1
+		case 0b111: // 111
+			return 3
+		case 0b101: // 101
+			return 5
+		default: // 0b001: 100
+			return 7
+		}
+	}
+	return 0
+}
+
+// normalization returns K_mod, the amplitude normalization giving unit
+// average symbol energy.
+func normalization(m Modulation) float64 {
+	switch m {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 1 / math.Sqrt(2)
+	case QAM16:
+		return 1 / math.Sqrt(10)
+	case QAM64:
+		return 1 / math.Sqrt(42)
+	default:
+		return 1
+	}
+}
+
+// constellationTable holds every point of a constellation with its bit label.
+type constellationTable struct {
+	points []complex128
+	labels []int // bit label, LSB = first transmitted bit
+	nbpsc  int
+	kmod   float64
+}
+
+var tables = map[Modulation]*constellationTable{}
+
+func init() {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		n := m.BitsPerSymbol()
+		t := &constellationTable{nbpsc: n, kmod: normalization(m)}
+		for label := 0; label < 1<<n; label++ {
+			t.labels = append(t.labels, label)
+			t.points = append(t.points, mapLabel(m, label))
+		}
+		tables[m] = t
+	}
+}
+
+// mapLabel maps an n-bit label (LSB first-transmitted) to a constellation
+// point with unit average energy.
+func mapLabel(m Modulation, label int) complex128 {
+	k := normalization(m)
+	switch m {
+	case BPSK:
+		return complex(k*grayAxis(label&1, 1), 0)
+	case QPSK:
+		return complex(k*grayAxis(label&1, 1), k*grayAxis((label>>1)&1, 1))
+	case QAM16:
+		return complex(k*grayAxis(label&3, 2), k*grayAxis((label>>2)&3, 2))
+	case QAM64:
+		return complex(k*grayAxis(label&7, 3), k*grayAxis((label>>3)&7, 3))
+	default:
+		return 0
+	}
+}
+
+// MapBits maps coded bits to constellation symbols. len(bits) must be a
+// multiple of the modulation's bits per symbol. Bits are consumed first-
+// transmitted-first (the first bit of each group selects the I axis LSB).
+func MapBits(bits []byte, m Modulation) ([]complex128, error) {
+	n := m.BitsPerSymbol()
+	if n == 0 {
+		return nil, fmt.Errorf("phy: unknown modulation %d", m)
+	}
+	if len(bits)%n != 0 {
+		return nil, fmt.Errorf("phy: %d bits not a multiple of %d", len(bits), n)
+	}
+	out := make([]complex128, len(bits)/n)
+	for i := range out {
+		label := 0
+		for j := 0; j < n; j++ {
+			label |= int(bits[i*n+j]&1) << j
+		}
+		out[i] = mapLabel(m, label)
+	}
+	return out, nil
+}
+
+// DemapHard slices each received symbol to the nearest constellation point
+// and returns the corresponding bits.
+func DemapHard(symbols []complex128, m Modulation) ([]byte, error) {
+	t, ok := tables[m]
+	if !ok {
+		return nil, fmt.Errorf("phy: unknown modulation %d", m)
+	}
+	out := make([]byte, 0, len(symbols)*t.nbpsc)
+	for _, y := range symbols {
+		best, bestD := 0, math.Inf(1)
+		for i, p := range t.points {
+			d := sqDist(y, p)
+			if d < bestD {
+				best, bestD = i, d
+			}
+		}
+		label := t.labels[best]
+		for j := 0; j < t.nbpsc; j++ {
+			out = append(out, byte((label>>j)&1))
+		}
+	}
+	return out, nil
+}
+
+// DemapSoft computes max-log LLR metrics for each coded bit of each symbol.
+// Positive values favor bit 0 (matching the Viterbi decoder convention).
+// csi optionally weights each symbol's metrics by its channel-state
+// information (e.g. |H|^2); pass nil for unweighted metrics.
+func DemapSoft(symbols []complex128, m Modulation, csi []float64) ([]float64, error) {
+	t, ok := tables[m]
+	if !ok {
+		return nil, fmt.Errorf("phy: unknown modulation %d", m)
+	}
+	if csi != nil && len(csi) != len(symbols) {
+		return nil, fmt.Errorf("phy: csi length %d != symbols %d", len(csi), len(symbols))
+	}
+	out := make([]float64, 0, len(symbols)*t.nbpsc)
+	for si, y := range symbols {
+		w := 1.0
+		if csi != nil {
+			w = csi[si]
+		}
+		for j := 0; j < t.nbpsc; j++ {
+			d0, d1 := math.Inf(1), math.Inf(1)
+			for i, p := range t.points {
+				d := sqDist(y, p)
+				if (t.labels[i]>>j)&1 == 0 {
+					if d < d0 {
+						d0 = d
+					}
+				} else if d < d1 {
+					d1 = d
+				}
+			}
+			// LLR ~ (d1 - d0): positive when the nearest bit-0 point is
+			// closer than the nearest bit-1 point.
+			out = append(out, w*(d1-d0))
+		}
+	}
+	return out, nil
+}
+
+func sqDist(a, b complex128) float64 {
+	dr := real(a) - real(b)
+	di := imag(a) - imag(b)
+	return dr*dr + di*di
+}

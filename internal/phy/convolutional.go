@@ -1,0 +1,121 @@
+package phy
+
+import "fmt"
+
+// Convolutional code constants for the clause-17 rate-1/2 mother code.
+const (
+	// ConstraintLength is K = 7.
+	ConstraintLength = 7
+	// NumStates is the number of encoder states (2^(K-1)).
+	NumStates = 1 << (ConstraintLength - 1)
+	// GeneratorA is g0 = 133 octal.
+	GeneratorA = 0o133
+	// GeneratorB is g1 = 171 octal.
+	GeneratorB = 0o171
+)
+
+// parity7 returns the parity of the low 7 bits of v.
+func parity7(v int) byte {
+	v &= 0x7F
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return byte(v & 1)
+}
+
+// ConvolutionalEncode encodes bits with the rate-1/2, K=7 mother code
+// (generators 133/171 octal). The encoder starts and is left in the zero
+// state; callers append 6 tail bits to data when termination is desired.
+// The output interleaves the two generator outputs: A0 B0 A1 B1 ...
+func ConvolutionalEncode(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)*2)
+	state := 0 // the 6 most recent input bits, newest in the MSB of bit 5
+	for _, b := range bits {
+		reg := int(b&1)<<6 | state // newest bit in position 6
+		out = append(out, parity7(reg&GeneratorA), parity7(reg&GeneratorB))
+		state = reg >> 1
+	}
+	return out
+}
+
+// punctureKeep returns the per-position keep mask for a punctured rate over
+// one puncturing period of the A/B interleaved stream.
+func punctureKeep(rate CodeRate) ([]bool, error) {
+	switch rate {
+	case Rate1_2:
+		return []bool{true, true}, nil
+	case Rate2_3:
+		// Period: A1 B1 A2 B2 -> keep A1 B1 A2, steal B2.
+		return []bool{true, true, true, false}, nil
+	case Rate3_4:
+		// Period: A1 B1 A2 B2 A3 B3 -> keep A1 B1 B2 A3 (steal A2, B3).
+		return []bool{true, true, false, true, true, false}, nil
+	default:
+		return nil, fmt.Errorf("phy: unknown code rate %d", rate)
+	}
+}
+
+// Puncture removes the stolen bits from a rate-1/2 coded stream to realize
+// the requested rate, per clause 17.3.5.6.
+func Puncture(coded []byte, rate CodeRate) ([]byte, error) {
+	keep, err := punctureKeep(rate)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(coded))
+	for i, b := range coded {
+		if keep[i%len(keep)] {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// Depuncture re-inserts erasures at the stolen-bit positions of a punctured
+// soft-metric stream. Erasure positions are filled with the neutral metric 0.
+// Inputs are LLR-like soft values (positive favors bit 0).
+func Depuncture(punctured []float64, rate CodeRate) ([]float64, error) {
+	keep, err := punctureKeep(rate)
+	if err != nil {
+		return nil, err
+	}
+	kept := 0
+	for _, k := range keep {
+		if k {
+			kept++
+		}
+	}
+	if len(punctured)%kept != 0 {
+		return nil, fmt.Errorf("phy: punctured length %d not a multiple of %d", len(punctured), kept)
+	}
+	periods := len(punctured) / kept
+	out := make([]float64, 0, periods*len(keep))
+	idx := 0
+	for p := 0; p < periods; p++ {
+		for _, k := range keep {
+			if k {
+				out = append(out, punctured[idx])
+				idx++
+			} else {
+				out = append(out, 0)
+			}
+		}
+	}
+	return out, nil
+}
+
+// CodedLength returns the number of coded bits produced from n data bits at
+// the given rate (n must yield an integral number of puncturing periods for
+// the punctured rates; clause 17 guarantees this by construction).
+func CodedLength(n int, rate CodeRate) int {
+	switch rate {
+	case Rate1_2:
+		return 2 * n
+	case Rate2_3:
+		return n * 3 / 2
+	case Rate3_4:
+		return n * 4 / 3
+	default:
+		return 0
+	}
+}

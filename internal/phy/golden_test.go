@@ -1,0 +1,60 @@
+package phy
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"testing"
+)
+
+// Golden-vector regression: a deterministic frame's waveform is pinned by a
+// checksum over coarsely quantized samples, so any accidental change to the
+// scrambler, coder, interleaver, mapper, pilots, preamble or OFDM scaling
+// trips this test. The quantization (1e-9) keeps the hash stable across
+// legitimate floating-point noise while catching any real change.
+func waveformDigest(x []complex128) string {
+	h := sha256.New()
+	var buf [16]byte
+	for _, v := range x {
+		binary.LittleEndian.PutUint64(buf[0:8], uint64(int64(math.Round(real(v)*1e9))))
+		binary.LittleEndian.PutUint64(buf[8:16], uint64(int64(math.Round(imag(v)*1e9))))
+		h.Write(buf[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+func TestGoldenFrameWaveform(t *testing.T) {
+	tx := &Transmitter{Mode: Modes[4], ScramblerSeed: 0x5A} // 24 Mbps
+	psdu := make([]byte, 64)
+	for i := range psdu {
+		psdu[i] = byte(i * 7)
+	}
+	frame, err := tx.Transmit(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "9896ebad5bfccadd"
+	if got := waveformDigest(frame.Samples); got != want {
+		t.Errorf("golden 24 Mbps frame digest %s, want %s — the PHY waveform changed; "+
+			"if intentional, update the golden value", got, want)
+	}
+}
+
+func TestGoldenPreambleWaveform(t *testing.T) {
+	const want = "d90e43908606cee8"
+	if got := waveformDigest(Preamble()); got != want {
+		t.Errorf("golden preamble digest %s, want %s", got, want)
+	}
+}
+
+func TestGoldenSignalSymbol(t *testing.T) {
+	sym, err := EncodeSignal(Modes[7], 1500) // 54 Mbps, 1500 octets
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = "57330e20c5595d85"
+	if got := waveformDigest(sym); got != want {
+		t.Errorf("golden SIGNAL digest %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,59 @@
+package phy
+
+import "fmt"
+
+// interleaveIndex returns the transmit position of coded bit k within one
+// OFDM symbol of ncbps coded bits with nbpsc bits per subcarrier, applying
+// the two clause-17.3.5.6 permutations.
+func interleaveIndex(k, ncbps, nbpsc int) int {
+	s := nbpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	i := (ncbps / 16) * (k % 16) // first permutation: adjacent coded bits
+	i += k / 16                  // onto nonadjacent subcarriers
+	// Second permutation: rotate within subcarrier bit positions so that
+	// adjacent coded bits alternate between more and less significant bits.
+	j := s*(i/s) + (i+ncbps-(16*i)/ncbps)%s
+	return j
+}
+
+// Interleave permutes one OFDM symbol's worth of coded bits. len(bits) must
+// equal the mode's NCBPS.
+func Interleave(bits []byte, mode Mode) ([]byte, error) {
+	ncbps := mode.NCBPS()
+	if len(bits) != ncbps {
+		return nil, fmt.Errorf("phy: interleaver input %d bits, want %d", len(bits), ncbps)
+	}
+	out := make([]byte, ncbps)
+	for k, b := range bits {
+		out[interleaveIndex(k, ncbps, mode.NBPSC())] = b
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave on hard bits.
+func Deinterleave(bits []byte, mode Mode) ([]byte, error) {
+	ncbps := mode.NCBPS()
+	if len(bits) != ncbps {
+		return nil, fmt.Errorf("phy: deinterleaver input %d bits, want %d", len(bits), ncbps)
+	}
+	out := make([]byte, ncbps)
+	for k := range out {
+		out[k] = bits[interleaveIndex(k, ncbps, mode.NBPSC())]
+	}
+	return out, nil
+}
+
+// DeinterleaveSoft inverts the interleaver on soft metrics.
+func DeinterleaveSoft(soft []float64, mode Mode) ([]float64, error) {
+	ncbps := mode.NCBPS()
+	if len(soft) != ncbps {
+		return nil, fmt.Errorf("phy: deinterleaver input %d metrics, want %d", len(soft), ncbps)
+	}
+	out := make([]float64, ncbps)
+	for k := range out {
+		out[k] = soft[interleaveIndex(k, ncbps, mode.NBPSC())]
+	}
+	return out, nil
+}

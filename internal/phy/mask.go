@@ -1,0 +1,100 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"wlansim/internal/dsp"
+)
+
+// SpectrumMask is the clause-17.3.9.2 transmit spectral mask: limits in dBr
+// (dB relative to the maximum in-band spectral density) as a function of the
+// frequency offset from the channel center.
+type SpectrumMask struct {
+	// OffsetsHz are the breakpoint offsets (positive; the mask is
+	// symmetric).
+	OffsetsHz []float64
+	// LimitsDBr are the limits at the breakpoints; between breakpoints the
+	// limit interpolates linearly in frequency.
+	LimitsDBr []float64
+}
+
+// TransmitMask returns the IEEE 802.11a transmit spectrum mask:
+// 0 dBr to 9 MHz, -20 dBr at 11 MHz, -28 dBr at 20 MHz, -40 dBr at 30 MHz
+// and beyond.
+func TransmitMask() SpectrumMask {
+	return SpectrumMask{
+		OffsetsHz: []float64{0, 9e6, 11e6, 20e6, 30e6},
+		LimitsDBr: []float64{0, 0, -20, -28, -40},
+	}
+}
+
+// LimitDBr evaluates the mask at the given offset from the channel center
+// (sign is ignored). Beyond the last breakpoint the final limit holds.
+func (m SpectrumMask) LimitDBr(offsetHz float64) float64 {
+	f := math.Abs(offsetHz)
+	if len(m.OffsetsHz) == 0 {
+		return 0
+	}
+	if f <= m.OffsetsHz[0] {
+		return m.LimitsDBr[0]
+	}
+	for i := 1; i < len(m.OffsetsHz); i++ {
+		if f <= m.OffsetsHz[i] {
+			f0, f1 := m.OffsetsHz[i-1], m.OffsetsHz[i]
+			l0, l1 := m.LimitsDBr[i-1], m.LimitsDBr[i]
+			return l0 + (l1-l0)*(f-f0)/(f1-f0)
+		}
+	}
+	return m.LimitsDBr[len(m.LimitsDBr)-1]
+}
+
+// MaskViolation reports one frequency bin exceeding the mask.
+type MaskViolation struct {
+	// OffsetHz is the bin's offset from the channel center.
+	OffsetHz float64
+	// MeasuredDBr is the bin density relative to the in-band maximum.
+	MeasuredDBr float64
+	// LimitDBr is the mask limit at that offset.
+	LimitDBr float64
+}
+
+// ExcessDB returns how far the bin exceeds the limit.
+func (v MaskViolation) ExcessDB() float64 { return v.MeasuredDBr - v.LimitDBr }
+
+// CheckMask verifies a transmit waveform against the mask. The waveform
+// must be sampled fast enough to represent the widest mask breakpoint
+// (sampleRate >= 2*30 MHz for the full 802.11a mask; with a narrower
+// representation only the covered offsets are checked). It returns the
+// violations sorted by frequency (nil when the mask is met).
+func (m SpectrumMask) CheckMask(x []complex128, sampleRateHz float64) ([]MaskViolation, error) {
+	if len(x) < 1024 {
+		return nil, fmt.Errorf("phy: waveform too short for a mask check (%d samples)", len(x))
+	}
+	psd, err := dsp.WelchPSD(x, sampleRateHz, 512, dsp.BlackmanHarris)
+	if err != nil {
+		return nil, err
+	}
+	// Reference: maximum density inside +-8 MHz.
+	ref := 0.0
+	for i, f := range psd.FreqHz {
+		if math.Abs(f) <= 8e6 && psd.DensityWPerHz[i] > ref {
+			ref = psd.DensityWPerHz[i]
+		}
+	}
+	if ref <= 0 {
+		return nil, fmt.Errorf("phy: no in-band energy for a mask reference")
+	}
+	var out []MaskViolation
+	for i, f := range psd.FreqHz {
+		d := psd.DensityWPerHz[i]
+		if d <= 0 {
+			continue
+		}
+		rel := 10 * math.Log10(d/ref)
+		if limit := m.LimitDBr(f); rel > limit+0.01 {
+			out = append(out, MaskViolation{OffsetHz: f, MeasuredDBr: rel, LimitDBr: limit})
+		}
+	}
+	return out, nil
+}

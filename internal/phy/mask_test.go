@@ -1,0 +1,106 @@
+package phy
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"wlansim/internal/bits"
+	"wlansim/internal/dsp"
+)
+
+func TestTransmitMaskBreakpoints(t *testing.T) {
+	m := TransmitMask()
+	cases := []struct{ f, want float64 }{
+		{0, 0}, {5e6, 0}, {9e6, 0},
+		{10e6, -10}, // halfway between 9 (0 dBr) and 11 (-20 dBr)
+		{11e6, -20},
+		{20e6, -28},
+		{30e6, -40},
+		{50e6, -40},  // beyond the last breakpoint
+		{-11e6, -20}, // symmetric
+	}
+	for _, c := range cases {
+		if got := m.LimitDBr(c.f); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("mask at %v Hz = %v dBr, want %v", c.f, got, c.want)
+		}
+	}
+	var empty SpectrumMask
+	if empty.LimitDBr(1e6) != 0 {
+		t.Error("empty mask should be 0 dBr")
+	}
+}
+
+// oversampledFrame builds a transmit frame upsampled to 80 MHz so the mask
+// region out to 30 MHz is represented.
+func oversampledFrame(t *testing.T, seed int64) []complex128 {
+	t.Helper()
+	tx, err := NewTransmitter(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	frame, err := tx.Transmit(bits.RandomBytes(r, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := dsp.NewUpsampler(4, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return up.Process(frame.Samples)
+}
+
+func TestCleanTransmitMeetsMask(t *testing.T) {
+	x := oversampledFrame(t, 1)
+	viol, err := TransmitMask().CheckMask(x, 80e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) != 0 {
+		t.Errorf("clean OFDM frame violates the mask at %d bins, first: %+v",
+			len(viol), viol[0])
+	}
+}
+
+func TestClippedTransmitViolatesMask(t *testing.T) {
+	// Hard-clip the waveform (a saturated PA): spectral regrowth must
+	// violate the mask.
+	x := oversampledFrame(t, 2)
+	var peak float64
+	for _, v := range x {
+		if a := cmplx.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	clip := peak / 6
+	for i, v := range x {
+		if a := cmplx.Abs(v); a > clip {
+			x[i] = v * complex(clip/a, 0)
+		}
+	}
+	viol, err := TransmitMask().CheckMask(x, 80e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viol) == 0 {
+		t.Error("hard-clipped waveform passed the spectrum mask")
+	}
+	// Violations carry sensible metadata.
+	for _, v := range viol {
+		if v.ExcessDB() <= 0 {
+			t.Errorf("violation with non-positive excess: %+v", v)
+		}
+	}
+}
+
+func TestCheckMaskValidation(t *testing.T) {
+	m := TransmitMask()
+	if _, err := m.CheckMask(make([]complex128, 10), 80e6); err == nil {
+		t.Error("accepted a too-short waveform")
+	}
+	if _, err := m.CheckMask(make([]complex128, 4096), 80e6); err == nil {
+		t.Error("accepted an all-zero waveform")
+	}
+}

@@ -1,0 +1,141 @@
+package phy
+
+import (
+	"fmt"
+
+	"wlansim/internal/dsp"
+)
+
+// DataCarriers lists the 48 data subcarrier indices in logical order
+// (clause 17.3.5.9): -26..26 excluding DC and the pilots at +-7 and +-21.
+var DataCarriers = buildDataCarriers()
+
+// PilotCarriers lists the four pilot subcarrier indices.
+var PilotCarriers = [NumPilots]int{-21, -7, 7, 21}
+
+// pilotBase holds the un-scrambled pilot values P_{-21,-7,7,21} = 1,1,1,-1.
+var pilotBase = [NumPilots]float64{1, 1, 1, -1}
+
+func buildDataCarriers() [NumDataCarriers]int {
+	var out [NumDataCarriers]int
+	i := 0
+	for c := -26; c <= 26; c++ {
+		switch c {
+		case 0, -21, -7, 7, 21:
+			continue
+		}
+		out[i] = c
+		i++
+	}
+	return out
+}
+
+// carrierBin maps a subcarrier index (-32..31) to its FFT bin (0..63).
+func carrierBin(c int) int { return (c + FFTSize) % FFTSize }
+
+var ofdmPlan = mustPlan()
+
+func mustPlan() *dsp.FFTPlan {
+	p, err := dsp.NewFFTPlan(FFTSize)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// AssembleSpectrum places 48 data symbols and the four pilots (scaled by the
+// polarity for OFDM symbol index n) into a 64-bin frequency-domain vector in
+// FFT order.
+func AssembleSpectrum(data []complex128, symbolIndex int) ([]complex128, error) {
+	if len(data) != NumDataCarriers {
+		return nil, fmt.Errorf("phy: %d data symbols, want %d", len(data), NumDataCarriers)
+	}
+	spec := make([]complex128, FFTSize)
+	for i, c := range DataCarriers {
+		spec[carrierBin(c)] = data[i]
+	}
+	p := PilotPolarity(symbolIndex)
+	for i, c := range PilotCarriers {
+		spec[carrierBin(c)] = complex(pilotBase[i]*p, 0)
+	}
+	return spec, nil
+}
+
+// ModulateSymbol converts a 64-bin frequency-domain vector into one
+// time-domain OFDM symbol of 80 samples (16-sample cyclic prefix + 64-sample
+// useful part). The IFFT is scaled by FFTSize/sqrt(52) so that the mean
+// time-domain power equals the mean per-carrier symbol energy (unit for the
+// normalized constellations).
+func ModulateSymbol(spec []complex128) ([]complex128, error) {
+	if len(spec) != FFTSize {
+		return nil, fmt.Errorf("phy: spectrum length %d, want %d", len(spec), FFTSize)
+	}
+	td := dsp.Clone(spec)
+	ofdmPlan.Inverse(td)
+	// Undo the 1/N of the inverse transform and normalize by the number of
+	// occupied carriers: x = IFFT(X) * N / sqrt(52), so unit-energy carriers
+	// yield unit mean time-domain power.
+	scale := complex(float64(FFTSize)/sqrt52, 0)
+	for i := range td {
+		td[i] *= scale
+	}
+	out := make([]complex128, 0, SymbolLen)
+	out = append(out, td[FFTSize-CPLen:]...)
+	out = append(out, td...)
+	return out, nil
+}
+
+const sqrt52 = 7.211102550927978 // sqrt(52)
+
+// DemodulateSymbol converts one 80-sample OFDM symbol back into the 64-bin
+// frequency-domain vector (inverse of ModulateSymbol, assuming perfect
+// timing).
+func DemodulateSymbol(sym []complex128) ([]complex128, error) {
+	if len(sym) != SymbolLen {
+		return nil, fmt.Errorf("phy: symbol length %d, want %d", len(sym), SymbolLen)
+	}
+	td := dsp.Clone(sym[CPLen:])
+	ofdmPlan.Forward(td)
+	scale := complex(sqrt52/float64(FFTSize), 0)
+	for i := range td {
+		td[i] *= scale
+	}
+	return td, nil
+}
+
+// ExtractData returns the 48 data-carrier values of a frequency-domain
+// vector in logical order.
+func ExtractData(spec []complex128) ([]complex128, error) {
+	if len(spec) != FFTSize {
+		return nil, fmt.Errorf("phy: spectrum length %d, want %d", len(spec), FFTSize)
+	}
+	out := make([]complex128, NumDataCarriers)
+	for i, c := range DataCarriers {
+		out[i] = spec[carrierBin(c)]
+	}
+	return out, nil
+}
+
+// ExtractPilots returns the four pilot-carrier values of a frequency-domain
+// vector, in the order -21, -7, +7, +21.
+func ExtractPilots(spec []complex128) ([]complex128, error) {
+	if len(spec) != FFTSize {
+		return nil, fmt.Errorf("phy: spectrum length %d, want %d", len(spec), FFTSize)
+	}
+	out := make([]complex128, NumPilots)
+	for i, c := range PilotCarriers {
+		out[i] = spec[carrierBin(c)]
+	}
+	return out, nil
+}
+
+// ExpectedPilots returns the transmitted pilot values for OFDM symbol index
+// n (SIGNAL symbol is n=0).
+func ExpectedPilots(symbolIndex int) [NumPilots]complex128 {
+	p := PilotPolarity(symbolIndex)
+	var out [NumPilots]complex128
+	for i := range out {
+		out[i] = complex(pilotBase[i]*p, 0)
+	}
+	return out
+}

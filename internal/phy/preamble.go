@@ -1,0 +1,99 @@
+package phy
+
+import (
+	"math"
+
+	"wlansim/internal/dsp"
+)
+
+// Preamble lengths in 20 MHz samples.
+const (
+	// ShortPreambleLen is ten repetitions of the 16-sample short symbol.
+	ShortPreambleLen = 160
+	// LongPreambleLen is the 32-sample guard plus two 64-sample long symbols.
+	LongPreambleLen = 160
+	// ShortSymbolPeriod is the periodicity of the short training sequence.
+	ShortSymbolPeriod = 16
+	// PreambleLen is the complete PLCP preamble length.
+	PreambleLen = ShortPreambleLen + LongPreambleLen
+)
+
+// shortSeq returns the frequency-domain short training sequence S_{-26..26}
+// indexed by subcarrier. Only every fourth subcarrier is occupied.
+func shortSeq() map[int]complex128 {
+	a := math.Sqrt(13.0 / 6.0)
+	p := complex(a, a)   // (1+j)*sqrt(13/6)
+	n := complex(-a, -a) // (-1-j)*sqrt(13/6)
+	return map[int]complex128{
+		-24: p, -20: n, -16: p, -12: n, -8: n, -4: p,
+		4: n, 8: n, 12: p, 16: p, 20: p, 24: p,
+	}
+}
+
+// longSeq returns the frequency-domain long training sequence L_{-26..26}.
+var longSeqValues = [53]float64{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1,
+	0,
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+}
+
+// LongTrainingSpectrum returns the 64-bin frequency-domain long training
+// symbol in FFT order (used both by the transmitter and for channel
+// estimation in the receiver).
+func LongTrainingSpectrum() []complex128 {
+	spec := make([]complex128, FFTSize)
+	for i, v := range longSeqValues {
+		c := i - 26
+		spec[carrierBin(c)] = complex(v, 0)
+	}
+	return spec
+}
+
+// shortTrainingSpectrum returns the 64-bin short training symbol in FFT order.
+func shortTrainingSpectrum() []complex128 {
+	spec := make([]complex128, FFTSize)
+	for c, v := range shortSeq() {
+		spec[carrierBin(c)] = v
+	}
+	return spec
+}
+
+// ifft64Scaled performs the scaled 64-point IFFT used for preamble symbols
+// (same normalization as ModulateSymbol).
+func ifft64Scaled(spec []complex128) []complex128 {
+	td := dsp.Clone(spec)
+	ofdmPlan.Inverse(td)
+	scale := complex(float64(FFTSize)/sqrt52, 0)
+	for i := range td {
+		td[i] *= scale
+	}
+	return td
+}
+
+// ShortPreamble returns the 160-sample short training field t1..t10.
+func ShortPreamble() []complex128 {
+	period := ifft64Scaled(shortTrainingSpectrum()) // 64 samples, period 16
+	out := make([]complex128, ShortPreambleLen)
+	for i := range out {
+		out[i] = period[i%FFTSize]
+	}
+	return out
+}
+
+// LongPreamble returns the 160-sample long training field GI2+T1+T2.
+func LongPreamble() []complex128 {
+	t := ifft64Scaled(LongTrainingSpectrum())
+	out := make([]complex128, 0, LongPreambleLen)
+	out = append(out, t[FFTSize-32:]...) // 32-sample double guard interval
+	out = append(out, t...)
+	out = append(out, t...)
+	return out
+}
+
+// Preamble returns the complete 320-sample PLCP preamble.
+func Preamble() []complex128 {
+	out := make([]complex128, 0, PreambleLen)
+	out = append(out, ShortPreamble()...)
+	out = append(out, LongPreamble()...)
+	return out
+}

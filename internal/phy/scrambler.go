@@ -1,0 +1,62 @@
+package phy
+
+// Scrambler is the clause-17 frame-synchronous scrambler with generator
+// polynomial S(x) = x^7 + x^4 + 1. The same structure descrambles, since
+// scrambling is an XOR with the LFSR output sequence.
+type Scrambler struct {
+	state byte // 7-bit shift register, bit 0 = x^1 ... bit 6 = x^7
+}
+
+// NewScrambler creates a scrambler with the given 7-bit initial state.
+// A zero state would produce the all-zero sequence and is rejected by
+// replacing it with the all-ones state used for the pilot polarity sequence.
+func NewScrambler(seed byte) *Scrambler {
+	seed &= 0x7F
+	if seed == 0 {
+		seed = 0x7F
+	}
+	return &Scrambler{state: seed}
+}
+
+// NextBit returns the next bit of the scrambling sequence and advances the
+// register.
+func (s *Scrambler) NextBit() byte {
+	// Feedback is x^7 XOR x^4 (bits 6 and 3 of the register).
+	fb := ((s.state >> 6) ^ (s.state >> 3)) & 1
+	s.state = ((s.state << 1) | fb) & 0x7F
+	return fb
+}
+
+// Process XORs the scrambling sequence onto bits in place and returns bits.
+// Applying it twice with the same initial state restores the input.
+func (s *Scrambler) Process(bits []byte) []byte {
+	for i := range bits {
+		bits[i] ^= s.NextBit()
+	}
+	return bits
+}
+
+// Sequence127 returns the canonical 127-bit scrambling sequence produced by
+// the all-ones seed. It repeats with period 127 and also defines the pilot
+// polarity sequence.
+func Sequence127() []byte {
+	s := NewScrambler(0x7F)
+	out := make([]byte, 127)
+	for i := range out {
+		out[i] = s.NextBit()
+	}
+	return out
+}
+
+// PilotPolarity returns the pilot polarity p_n (+1/-1) for OFDM symbol index
+// n, with n = 0 assigned to the SIGNAL symbol, per clause 17.3.5.9:
+// p_n = 1 - 2*s_n where s is the 127-periodic scrambling sequence.
+func PilotPolarity(n int) float64 {
+	seq := pilotSeq
+	if seq[n%127] == 0 {
+		return 1
+	}
+	return -1
+}
+
+var pilotSeq = Sequence127()

@@ -1,0 +1,250 @@
+package phy
+
+import (
+	"fmt"
+
+	"wlansim/internal/bits"
+	"wlansim/internal/phy/viterbi"
+)
+
+// ServiceBits is the number of SERVICE bits prepended to the PSDU (all zero;
+// the first seven let the receiver resolve the scrambler seed).
+const ServiceBits = 16
+
+// TailBits is the number of zero tail bits terminating the convolutional
+// code.
+const TailBits = 6
+
+// Frame describes an assembled PPDU.
+type Frame struct {
+	// Mode is the transmission mode of the DATA field.
+	Mode Mode
+	// PSDU is the transported MAC payload.
+	PSDU []byte
+	// NumDataSymbols is the number of OFDM symbols in the DATA field.
+	NumDataSymbols int
+	// ScramblerSeed is the 7-bit initializer used for the DATA field.
+	ScramblerSeed byte
+	// Samples is the complete baseband waveform at 20 MHz: short preamble,
+	// long preamble, SIGNAL symbol and DATA symbols.
+	Samples []complex128
+}
+
+// DataLen returns the total frame length in samples.
+func (f *Frame) DataLen() int { return len(f.Samples) }
+
+// DataFieldBits assembles and scrambles the DATA field bit stream for a PSDU:
+// SERVICE + PSDU + tail + pad, scrambled, with the tail-bit positions zeroed
+// after scrambling (clause 17.3.5.2). It returns the scrambled stream and
+// the number of OFDM symbols.
+func DataFieldBits(psdu []byte, mode Mode, seed byte) ([]byte, int) {
+	payload := bits.FromBytes(psdu)
+	nBits := ServiceBits + len(payload) + TailBits
+	ndbps := mode.NDBPS()
+	nSym := (nBits + ndbps - 1) / ndbps
+	total := nSym * ndbps
+
+	stream := make([]byte, total)
+	copy(stream[ServiceBits:], payload)
+
+	s := NewScrambler(seed)
+	s.Process(stream)
+	// Zero the scrambled tail bits so the encoder terminates.
+	tailStart := ServiceBits + len(payload)
+	for i := 0; i < TailBits; i++ {
+		stream[tailStart+i] = 0
+	}
+	return stream, nSym
+}
+
+// Transmitter builds clause-17 PPDUs.
+type Transmitter struct {
+	// Mode selects the DATA-field rate.
+	Mode Mode
+	// ScramblerSeed is the 7-bit scrambler initializer (0 selects 0x5D, an
+	// arbitrary fixed nonzero default).
+	ScramblerSeed byte
+}
+
+// NewTransmitter returns a transmitter for the given rate in Mbps.
+func NewTransmitter(rateMbps int) (*Transmitter, error) {
+	mode, err := ModeByRate(rateMbps)
+	if err != nil {
+		return nil, err
+	}
+	return &Transmitter{Mode: mode, ScramblerSeed: 0x5D}, nil
+}
+
+// Transmit assembles the complete PPDU waveform for the given PSDU.
+func (t *Transmitter) Transmit(psdu []byte) (*Frame, error) {
+	if len(psdu) < 1 || len(psdu) > 4095 {
+		return nil, fmt.Errorf("phy: PSDU length %d outside 1..4095 octets", len(psdu))
+	}
+	seed := t.ScramblerSeed
+	if seed == 0 {
+		seed = 0x5D
+	}
+
+	scrambled, nSym := DataFieldBits(psdu, t.Mode, seed)
+	coded := ConvolutionalEncode(scrambled)
+	punct, err := Puncture(coded, t.Mode.CodeRate)
+	if err != nil {
+		return nil, err
+	}
+	ncbps := t.Mode.NCBPS()
+	if len(punct) != nSym*ncbps {
+		return nil, fmt.Errorf("phy: internal error: %d coded bits for %d symbols of %d",
+			len(punct), nSym, ncbps)
+	}
+
+	samples := Preamble()
+	sig, err := EncodeSignal(t.Mode, len(psdu))
+	if err != nil {
+		return nil, err
+	}
+	samples = append(samples, sig...)
+
+	for n := 0; n < nSym; n++ {
+		block := punct[n*ncbps : (n+1)*ncbps]
+		inter, err := Interleave(block, t.Mode)
+		if err != nil {
+			return nil, err
+		}
+		syms, err := MapBits(inter, t.Mode.Modulation)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := AssembleSpectrum(syms, n+1) // data symbols use p_1...
+		if err != nil {
+			return nil, err
+		}
+		td, err := ModulateSymbol(spec)
+		if err != nil {
+			return nil, err
+		}
+		samples = append(samples, td...)
+	}
+
+	return &Frame{
+		Mode:           t.Mode,
+		PSDU:           append([]byte(nil), psdu...),
+		NumDataSymbols: nSym,
+		ScramblerSeed:  seed,
+		Samples:        samples,
+	}, nil
+}
+
+// DecodeDataCarriers performs the bit-level receive chain on equalized data
+// carriers: soft demapping (optionally CSI-weighted), deinterleaving,
+// depuncturing, Viterbi decoding and descrambling. carriers holds the 48
+// equalized data-carrier values of each DATA OFDM symbol in order; csi, if
+// non-nil, holds the matching channel-state weights. It returns the decoded
+// PSDU.
+func DecodeDataCarriers(carriers [][]complex128, csi [][]float64, mode Mode, psduLen int) ([]byte, error) {
+	if psduLen < 1 {
+		return nil, fmt.Errorf("phy: psduLen %d invalid", psduLen)
+	}
+	var soft []float64
+	for n, c := range carriers {
+		var w []float64
+		if csi != nil {
+			w = csi[n]
+		}
+		m, err := DemapSoft(c, mode.Modulation, w)
+		if err != nil {
+			return nil, err
+		}
+		d, err := DeinterleaveSoft(m, mode)
+		if err != nil {
+			return nil, err
+		}
+		soft = append(soft, d...)
+	}
+	dep, err := Depuncture(soft, mode.CodeRate)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := viterbi.New().DecodeSoft(dep)
+	if err != nil {
+		return nil, err
+	}
+	need := ServiceBits + psduLen*8
+	if len(decoded) < need {
+		return nil, fmt.Errorf("phy: decoded %d bits, need %d", len(decoded), need)
+	}
+	// Descramble. The SERVICE field is transmitted as zeros, so the first 7
+	// descrambler bits reveal the seed; equivalently, synchronize a fresh
+	// scrambler by searching the seed that zeroes the first 7 bits.
+	seed := recoverScramblerSeed(decoded[:7])
+	s := NewScrambler(seed)
+	s.Process(decoded[:need])
+	payload := decoded[ServiceBits:need]
+	return bits.ToBytes(payload)
+}
+
+// DecodeDataCarriersHard is the hard-decision variant of
+// DecodeDataCarriers: each carrier is sliced to the nearest constellation
+// point before deinterleaving, discarding the soft reliability information
+// (an ablation worth ~2 dB of coding gain). csi is accepted for signature
+// compatibility and ignored.
+func DecodeDataCarriersHard(carriers [][]complex128, csi [][]float64, mode Mode, psduLen int) ([]byte, error) {
+	if psduLen < 1 {
+		return nil, fmt.Errorf("phy: psduLen %d invalid", psduLen)
+	}
+	_ = csi
+	var soft []float64
+	for _, c := range carriers {
+		hard, err := DemapHard(c, mode.Modulation)
+		if err != nil {
+			return nil, err
+		}
+		m := make([]float64, len(hard))
+		for i, b := range hard {
+			m[i] = float64(1 - 2*int(b))
+		}
+		d, err := DeinterleaveSoft(m, mode)
+		if err != nil {
+			return nil, err
+		}
+		soft = append(soft, d...)
+	}
+	dep, err := Depuncture(soft, mode.CodeRate)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := viterbi.New().DecodeSoft(dep)
+	if err != nil {
+		return nil, err
+	}
+	need := ServiceBits + psduLen*8
+	if len(decoded) < need {
+		return nil, fmt.Errorf("phy: decoded %d bits, need %d", len(decoded), need)
+	}
+	seed := recoverScramblerSeed(decoded[:7])
+	s := NewScrambler(seed)
+	s.Process(decoded[:need])
+	return bits.ToBytes(decoded[ServiceBits:need])
+}
+
+// recoverScramblerSeed derives the transmit scrambler seed from the first
+// seven received (scrambled) bits, which were all zero before scrambling and
+// therefore equal the scrambling sequence itself.
+func recoverScramblerSeed(first7 []byte) byte {
+	// The scrambling sequence bits are successive feedback values; feeding
+	// them back reconstructs the register. Run the recurrence backwards:
+	// simpler is to search all 127 seeds (cheap and obviously correct).
+	for seed := byte(1); seed < 128; seed++ {
+		s := NewScrambler(seed)
+		ok := true
+		for _, want := range first7 {
+			if s.NextBit() != want&1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return seed
+		}
+	}
+	return 0x7F
+}

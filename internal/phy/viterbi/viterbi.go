@@ -1,0 +1,158 @@
+// Package viterbi implements a maximum-likelihood decoder for the IEEE
+// 802.11a rate-1/2, K=7 convolutional code (generators 133/171 octal), with
+// hard- and soft-decision inputs and support for the punctured rates via
+// erasure metrics.
+package viterbi
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	constraint = 7
+	numStates  = 1 << (constraint - 1) // 64
+	genA       = 0o133
+	genB       = 0o171
+)
+
+// branch holds the precomputed encoder outputs for (state, input bit).
+type branch struct {
+	next int
+	outA byte
+	outB byte
+}
+
+var trellis [numStates][2]branch
+
+func parity7(v int) byte {
+	v &= 0x7F
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return byte(v & 1)
+}
+
+func init() {
+	for state := 0; state < numStates; state++ {
+		for b := 0; b < 2; b++ {
+			reg := b<<6 | state
+			trellis[state][b] = branch{
+				next: reg >> 1,
+				outA: parity7(reg & genA),
+				outB: parity7(reg & genB),
+			}
+		}
+	}
+}
+
+// Decoder decodes the clause-17 mother code. The zero value is not usable;
+// create with New.
+type Decoder struct {
+	// Terminated indicates the trellis starts and ends in the zero state
+	// (the transmitter appended tail bits). When false the decoder picks
+	// the best final state.
+	Terminated bool
+}
+
+// New returns a decoder for a terminated (tail-bited-to-zero) trellis.
+func New() *Decoder { return &Decoder{Terminated: true} }
+
+// DecodeSoft decodes a soft-metric stream of 2n values (A and B metric for
+// each of the n trellis steps) into n bits. Positive metric values favor
+// coded bit 0, negative favor 1, zero is an erasure (depunctured position).
+// It returns the decoded bits including any tail bits the encoder appended.
+func (d *Decoder) DecodeSoft(soft []float64) ([]byte, error) {
+	if len(soft)%2 != 0 {
+		return nil, fmt.Errorf("viterbi: soft stream length %d is odd", len(soft))
+	}
+	steps := len(soft) / 2
+	if steps == 0 {
+		return nil, nil
+	}
+
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for i := range metric {
+		metric[i] = math.Inf(-1)
+	}
+	metric[0] = 0 // encoder starts in the zero state
+
+	// decisions[t][s] records the input bit of the surviving transition
+	// into state s at step t.
+	decisions := make([][numStates]byte, steps)
+	// pred[t][s] records the predecessor state of the survivor.
+	pred := make([][numStates]int8, steps)
+
+	for t := 0; t < steps; t++ {
+		mA, mB := soft[2*t], soft[2*t+1]
+		for i := range next {
+			next[i] = math.Inf(-1)
+		}
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if math.IsInf(m, -1) {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				br := trellis[s][b]
+				bm := m
+				if br.outA == 0 {
+					bm += mA
+				} else {
+					bm -= mA
+				}
+				if br.outB == 0 {
+					bm += mB
+				} else {
+					bm -= mB
+				}
+				if bm > next[br.next] {
+					next[br.next] = bm
+					decisions[t][br.next] = byte(b)
+					pred[t][br.next] = int8(s)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	// Select the final state.
+	final := 0
+	if !d.Terminated {
+		best := math.Inf(-1)
+		for s, m := range metric {
+			if m > best {
+				best, final = m, s
+			}
+		}
+	} else if math.IsInf(metric[0], -1) {
+		return nil, fmt.Errorf("viterbi: zero state unreachable in terminated trellis")
+	}
+
+	// Trace back.
+	out := make([]byte, steps)
+	state := final
+	for t := steps - 1; t >= 0; t-- {
+		out[t] = decisions[t][state]
+		state = int(pred[t][state])
+	}
+	return out, nil
+}
+
+// DecodeHard decodes hard-decision coded bits (the interleaved A/B stream of
+// the encoder). Bits beyond 1 are rejected.
+func (d *Decoder) DecodeHard(coded []byte) ([]byte, error) {
+	soft := make([]float64, len(coded))
+	for i, b := range coded {
+		switch b {
+		case 0:
+			soft[i] = 1
+		case 1:
+			soft[i] = -1
+		default:
+			return nil, fmt.Errorf("viterbi: value %d at index %d is not a bit", b, i)
+		}
+	}
+	return d.DecodeSoft(soft)
+}

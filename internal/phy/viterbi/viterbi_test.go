@@ -1,0 +1,198 @@
+package viterbi
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// encode mirrors the clause-17 encoder for test purposes.
+func encode(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)*2)
+	state := 0
+	for _, b := range bits {
+		reg := int(b&1)<<6 | state
+		out = append(out, parity7(reg&genA), parity7(reg&genB))
+		state = reg >> 1
+	}
+	return out
+}
+
+func withTail(data []byte) []byte {
+	out := append([]byte(nil), data...)
+	return append(out, make([]byte, 6)...)
+}
+
+func randomBits(r *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(r.Intn(2))
+	}
+	return out
+}
+
+func TestTrellisKnownOutputs(t *testing.T) {
+	// From the zero state, input 1 produces outputs A=1, B=1 (both
+	// generators include the current bit).
+	br := trellis[0][1]
+	if br.outA != 1 || br.outB != 1 {
+		t.Errorf("state 0 input 1: outputs %d,%d, want 1,1", br.outA, br.outB)
+	}
+	if br.next != 0x20 {
+		t.Errorf("state 0 input 1: next state %#x, want 0x20", br.next)
+	}
+	// Input 0 from state 0 stays at 0 with outputs 0,0.
+	br = trellis[0][0]
+	if br.outA != 0 || br.outB != 0 || br.next != 0 {
+		t.Errorf("state 0 input 0: %+v", br)
+	}
+}
+
+func TestDecodeNoiselessRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 8, 100, 999} {
+		data := withTail(randomBits(r, n))
+		coded := encode(data)
+		got, err := New().DecodeHard(coded)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != len(data) {
+			t.Fatalf("n=%d: decoded %d bits, want %d", n, len(got), len(data))
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("n=%d: bit %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestDecodeCorrectsErrors(t *testing.T) {
+	// The free distance of the 133/171 code is 10; up to 4 well-separated
+	// channel errors are always correctable.
+	r := rand.New(rand.NewSource(2))
+	data := withTail(randomBits(r, 200))
+	coded := encode(data)
+	for trial := 0; trial < 50; trial++ {
+		corrupted := append([]byte(nil), coded...)
+		// Flip 4 bits spaced far apart.
+		for k := 0; k < 4; k++ {
+			pos := (trial*13 + k*100) * 2 % len(corrupted)
+			corrupted[pos] ^= 1
+		}
+		got, err := New().DecodeHard(corrupted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				t.Fatalf("trial %d: bit %d not corrected", trial, i)
+			}
+		}
+	}
+}
+
+func TestDecodeSoftBeatsHardWithErasures(t *testing.T) {
+	// With erasures marked (metric 0) the decoder must still recover the
+	// message; with the same positions hard-decided wrongly it may not.
+	r := rand.New(rand.NewSource(3))
+	data := withTail(randomBits(r, 120))
+	coded := encode(data)
+	soft := make([]float64, len(coded))
+	for i, b := range coded {
+		if i%7 == 3 {
+			soft[i] = 0 // erasure
+			continue
+		}
+		if b == 0 {
+			soft[i] = 1
+		} else {
+			soft[i] = -1
+		}
+	}
+	got, err := New().DecodeSoft(soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("bit %d not recovered from erasures", i)
+		}
+	}
+}
+
+func TestDecodeSoftWeighting(t *testing.T) {
+	// Strong correct metrics must dominate weak wrong ones.
+	data := withTail([]byte{1, 0, 1, 1, 0, 0, 1, 0})
+	coded := encode(data)
+	soft := make([]float64, len(coded))
+	for i, b := range coded {
+		v := 5.0
+		if b == 1 {
+			v = -5.0
+		}
+		soft[i] = v
+	}
+	// Inject weak opposite-sign noise on a few positions.
+	soft[2] = -soft[2] / 10
+	soft[9] = -soft[9] / 10
+	got, err := New().DecodeSoft(soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("bit %d wrong under weighted soft decoding", i)
+		}
+	}
+}
+
+func TestUnterminatedDecoding(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	data := randomBits(r, 64) // no tail
+	coded := encode(data)
+	d := &Decoder{Terminated: false}
+	got, err := d.DecodeHard(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All but the last few (traceback-ambiguous) bits must match.
+	for i := 0; i < len(data)-6; i++ {
+		if got[i] != data[i] {
+			t.Fatalf("bit %d differs in unterminated decode", i)
+		}
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	if _, err := New().DecodeSoft(make([]float64, 3)); err == nil {
+		t.Error("accepted odd-length soft stream")
+	}
+	if _, err := New().DecodeHard([]byte{0, 2}); err == nil {
+		t.Error("accepted non-bit value")
+	}
+	if out, err := New().DecodeSoft(nil); err != nil || out != nil {
+		t.Error("empty stream should decode to nothing")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func(n uint8) bool {
+		data := withTail(randomBits(r, int(n)+1))
+		got, err := New().DecodeHard(encode(data))
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if got[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,48 @@
+package phy
+
+// Clause 17.3.2.5 optional transmit time-windowing: consecutive OFDM
+// symbols overlap by one transition sample shaped with a raised-cosine
+// ramp, smoothing the symbol boundaries and sharpening the spectral
+// roll-off at the channel edges.
+
+// ApplyTimeWindowing smooths the boundaries between consecutive 80-sample
+// OFDM symbols of a PPDU in place and returns it. symbolsStart is the index
+// of the first windowed symbol boundary region (PreambleLen for a standard
+// frame: the SIGNAL and DATA symbols are windowed; the preamble's internal
+// periodicity makes windowing there a no-op). The implementation replaces
+// each boundary sample pair with a raised-cosine crossfade between the
+// previous symbol's circular extension and the next symbol's first sample,
+// which preserves the frame length and timing.
+func ApplyTimeWindowing(samples []complex128, symbolsStart int) []complex128 {
+	if symbolsStart < 0 {
+		symbolsStart = 0
+	}
+	// Boundaries are at symbolsStart + k*SymbolLen for k >= 1 (between
+	// consecutive symbols) while fully inside the frame.
+	for b := symbolsStart + SymbolLen; b+1 < len(samples); b += SymbolLen {
+		if b-1 < 0 || b-SymbolLen < symbolsStart-1 {
+			continue
+		}
+		// Previous symbol's circular extension: its useful part starts at
+		// b-FFTSize; the sample that would follow the symbol is the one at
+		// the start of its useful part's second copy, i.e. the sample at
+		// b-FFTSize (start of the useful part) continued: x[b-FFTSize].
+		prevExt := samples[b-FFTSize]
+		// Crossfade the first sample of the new symbol with the previous
+		// symbol's extension (w = 0.5 at the boundary per the standard's
+		// transition window).
+		samples[b] = 0.5*samples[b] + 0.5*prevExt
+	}
+	return samples
+}
+
+// TransmitWindowed assembles a PPDU like Transmit and then applies the
+// clause-17.3.2.5 transition windowing to the SIGNAL and DATA symbols.
+func (t *Transmitter) TransmitWindowed(psdu []byte) (*Frame, error) {
+	frame, err := t.Transmit(psdu)
+	if err != nil {
+		return nil, err
+	}
+	ApplyTimeWindowing(frame.Samples, PreambleLen)
+	return frame, nil
+}

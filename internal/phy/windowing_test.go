@@ -1,0 +1,105 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+
+	"wlansim/internal/bits"
+	"wlansim/internal/dsp"
+	"wlansim/internal/units"
+)
+
+func TestTimeWindowingPreservesDecodability(t *testing.T) {
+	tx, err := NewTransmitter(54)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(50))
+	psdu := bits.RandomBytes(rng, 300)
+	frame, err := tx.TransmitWindowed(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeFrameIdeal(t, frame)
+	if !bits.Equal(bits.FromBytes(got), bits.FromBytes(psdu)) {
+		t.Error("windowed frame no longer decodes")
+	}
+}
+
+func TestTimeWindowingLengthUnchanged(t *testing.T) {
+	tx, _ := NewTransmitter(24)
+	plain, err := tx.Transmit(make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := NewTransmitter(24)
+	windowed, err := tx2.TransmitWindowed(make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Samples) != len(windowed.Samples) {
+		t.Errorf("windowing changed frame length: %d vs %d",
+			len(windowed.Samples), len(plain.Samples))
+	}
+}
+
+func TestTimeWindowingReducesBoundaryDiscontinuity(t *testing.T) {
+	// The summed squared jump across data-symbol boundaries must shrink.
+	tx, _ := NewTransmitter(54)
+	tx.ScramblerSeed = 0x2B
+	rng := rand.New(rand.NewSource(51))
+	psdu := bits.RandomBytes(rng, 400)
+	plain, _ := tx.Transmit(psdu)
+	windowed := dsp.Clone(plain.Samples)
+	ApplyTimeWindowing(windowed, PreambleLen)
+
+	jump := func(x []complex128) float64 {
+		var acc float64
+		for b := PreambleLen + SymbolLen; b < len(x); b += SymbolLen {
+			d := x[b] - x[b-1]
+			acc += real(d)*real(d) + imag(d)*imag(d)
+		}
+		return acc
+	}
+	jp, jw := jump(plain.Samples), jump(windowed)
+	if jw >= jp {
+		t.Errorf("windowing did not reduce boundary jumps: %v vs %v", jw, jp)
+	}
+}
+
+func TestTimeWindowingImprovesSpectralSkirt(t *testing.T) {
+	// Out-of-band skirt power (9.5..10 MHz at the native rate) must not
+	// grow, and typically shrinks, with the transition windowing.
+	tx, _ := NewTransmitter(54)
+	rng := rand.New(rand.NewSource(52))
+	psdu := bits.RandomBytes(rng, 1000)
+	plain, _ := tx.Transmit(psdu)
+	windowed := dsp.Clone(plain.Samples)
+	ApplyTimeWindowing(windowed, PreambleLen)
+
+	skirt := func(x []complex128) float64 {
+		psd, err := dsp.WelchPSD(x, 20e6, 512, dsp.BlackmanHarris)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return psd.BandPowerW(9.5e6, 10e6) + psd.BandPowerW(-10e6, -9.5e6)
+	}
+	sp, sw := skirt(plain.Samples), skirt(windowed)
+	if sw > sp*1.02 {
+		t.Errorf("windowed skirt power %v exceeds plain %v", sw, sp)
+	}
+	// In-band power essentially unchanged (windowing touches one sample
+	// per symbol).
+	pp := units.MeanPower(plain.Samples)
+	pw := units.MeanPower(windowed)
+	if d := pw / pp; d < 0.99 || d > 1.01 {
+		t.Errorf("windowing changed total power by %v", d)
+	}
+}
+
+func TestApplyTimeWindowingEdgeCases(t *testing.T) {
+	// Too-short input and negative start must not panic.
+	ApplyTimeWindowing(nil, 0)
+	ApplyTimeWindowing(make([]complex128, 10), -5)
+	ApplyTimeWindowing(make([]complex128, SymbolLen), 0)
+}

@@ -1,0 +1,196 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+
+	"wlansim/internal/units"
+)
+
+// AGCConfig parameterizes the automatic gain controlled baseband amplifier.
+type AGCConfig struct {
+	// TargetDBm is the desired output power.
+	TargetDBm float64
+	// MinGainDB and MaxGainDB bound the control range.
+	MinGainDB float64
+	MaxGainDB float64
+	// TimeConstantSamples sets the power-estimator smoothing and loop speed
+	// (samples to settle to ~63%).
+	TimeConstantSamples float64
+	// InitialGainDB is the starting gain.
+	InitialGainDB float64
+	// Freeze holds the current gain (used after preamble acquisition).
+	Freeze bool
+}
+
+// AGC is a feedback automatic gain control amplifier with asymmetric
+// dynamics: a fast attack pulls the gain down within tens of samples when a
+// strong packet arrives (so the short preamble survives), while the release
+// toward higher gain is slow, as in practical WLAN front ends. It
+// implements Block.
+type AGC struct {
+	cfg     AGCConfig
+	gainDB  float64
+	est     float64 // smoothed output power estimate (watts)
+	alpha   float64
+	attack  float64 // fraction of the (negative) dB error applied per sample
+	release float64 // dB per dB of positive error per sample
+}
+
+// NewAGC builds the loop.
+func NewAGC(cfg AGCConfig) (*AGC, error) {
+	if cfg.MinGainDB > cfg.MaxGainDB {
+		return nil, fmt.Errorf("rf: AGC gain bounds inverted (%g > %g)", cfg.MinGainDB, cfg.MaxGainDB)
+	}
+	if cfg.TimeConstantSamples <= 0 {
+		cfg.TimeConstantSamples = 64
+	}
+	a := &AGC{
+		cfg:     cfg,
+		gainDB:  clamp(cfg.InitialGainDB, cfg.MinGainDB, cfg.MaxGainDB),
+		alpha:   4 / cfg.TimeConstantSamples,
+		attack:  0.2,
+		release: 0.1 / cfg.TimeConstantSamples,
+	}
+	if a.alpha > 0.5 {
+		a.alpha = 0.5
+	}
+	a.est = units.DBmToWatts(cfg.TargetDBm)
+	return a, nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// GainDB returns the current loop gain.
+func (a *AGC) GainDB() float64 { return a.gainDB }
+
+// SetFreeze holds (true) or releases (false) the gain.
+func (a *AGC) SetFreeze(f bool) { a.cfg.Freeze = f }
+
+// Reset restores the initial gain and estimator.
+func (a *AGC) Reset() {
+	a.gainDB = clamp(a.cfg.InitialGainDB, a.cfg.MinGainDB, a.cfg.MaxGainDB)
+	a.est = units.DBmToWatts(a.cfg.TargetDBm)
+}
+
+// ProcessSample amplifies one sample and updates the loop.
+func (a *AGC) ProcessSample(x complex128) complex128 {
+	g := units.DBToVoltageGain(a.gainDB)
+	y := x * complex(g, 0)
+	if !a.cfg.Freeze {
+		p := real(y)*real(y) + imag(y)*imag(y)
+		a.est += a.alpha * (p - a.est)
+		if a.est > 0 {
+			errDB := a.cfg.TargetDBm - units.WattsToDBm(a.est)
+			var step float64
+			if errDB < 0 {
+				// Output too hot: fast attack, bounded slew.
+				step = a.attack * errDB
+				if step < -1.5 {
+					step = -1.5
+				}
+			} else {
+				// Output too quiet: creep up slowly. The release slew is
+				// capped far below the attack so idle-channel gain ramps
+				// stay gentle (a fast release would turn the residual DC
+				// offset into a correlated ramp that confuses packet
+				// detection downstream).
+				step = a.release * errDB
+				if step > 0.01 {
+					step = 0.01
+				}
+			}
+			a.gainDB = clamp(a.gainDB+step, a.cfg.MinGainDB, a.cfg.MaxGainDB)
+		}
+	}
+	return y
+}
+
+// Process amplifies a frame in place and returns it.
+func (a *AGC) Process(x []complex128) []complex128 {
+	for i, v := range x {
+		x[i] = a.ProcessSample(v)
+	}
+	return x
+}
+
+// ADCConfig parameterizes the analog-to-digital converter model.
+type ADCConfig struct {
+	// Bits is the resolution per I/Q dimension (0 disables quantization).
+	Bits int
+	// FullScaleDBm is the clipping level: a complex sample whose I or Q
+	// magnitude exceeds the full-scale amplitude sqrt(P_fs) clips.
+	FullScaleDBm float64
+}
+
+// ADC quantizes and clips the baseband signal. It implements Block.
+type ADC struct {
+	cfg  ADCConfig
+	fs   float64 // full-scale amplitude per dimension
+	step float64
+	clip int // clipped sample count
+}
+
+// NewADC builds the converter model.
+func NewADC(cfg ADCConfig) (*ADC, error) {
+	if cfg.Bits < 0 || cfg.Bits > 24 {
+		return nil, fmt.Errorf("rf: ADC resolution %d bits out of range", cfg.Bits)
+	}
+	a := &ADC{cfg: cfg, fs: units.DBmToAmplitude(cfg.FullScaleDBm)}
+	if cfg.Bits > 0 {
+		a.step = 2 * a.fs / float64(int(1)<<cfg.Bits)
+	}
+	return a, nil
+}
+
+// ClippedSamples returns how many samples clipped since the last Reset.
+func (a *ADC) ClippedSamples() int { return a.clip }
+
+// Reset clears the clip counter.
+func (a *ADC) Reset() { a.clip = 0 }
+
+func (a *ADC) quantize(v float64) (float64, bool) {
+	clipped := false
+	if v > a.fs {
+		v, clipped = a.fs, true
+	} else if v < -a.fs {
+		v, clipped = -a.fs, true
+	}
+	if a.step > 0 {
+		v = (math.Floor(v/a.step) + 0.5) * a.step
+		// Mid-rise quantizer: keep the reconstruction inside full scale.
+		if v > a.fs {
+			v = a.fs - a.step/2
+		}
+		if v < -a.fs {
+			v = -a.fs + a.step/2
+		}
+	}
+	return v, clipped
+}
+
+// ProcessSample converts one sample.
+func (a *ADC) ProcessSample(x complex128) complex128 {
+	i, ci := a.quantize(real(x))
+	q, cq := a.quantize(imag(x))
+	if ci || cq {
+		a.clip++
+	}
+	return complex(i, q)
+}
+
+// Process converts a frame in place and returns it.
+func (a *ADC) Process(x []complex128) []complex128 {
+	for i, v := range x {
+		x[i] = a.ProcessSample(v)
+	}
+	return x
+}

@@ -1,0 +1,89 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wlansim/internal/units"
+)
+
+// Stage describes one element of an RF line-up for cascade (Friis) analysis.
+type Stage struct {
+	// Name identifies the stage.
+	Name string
+	// GainDB is the stage power gain.
+	GainDB float64
+	// NoiseFigureDB is the stage noise figure.
+	NoiseFigureDB float64
+	// IIP3DBm is the stage input-referred third-order intercept; use
+	// math.Inf(1) for a perfectly linear stage.
+	IIP3DBm float64
+}
+
+// CascadeResult summarizes the line-up.
+type CascadeResult struct {
+	// GainDB is the total power gain.
+	GainDB float64
+	// NoiseFigureDB is the Friis cascade noise figure.
+	NoiseFigureDB float64
+	// IIP3DBm is the cascade input-referred IP3.
+	IIP3DBm float64
+}
+
+// Cascade computes total gain, the Friis noise figure and the cascaded IIP3
+// of a line-up.
+func Cascade(stages []Stage) (CascadeResult, error) {
+	if len(stages) == 0 {
+		return CascadeResult{}, fmt.Errorf("rf: empty cascade")
+	}
+	gain := 1.0
+	fTotal := 0.0
+	invIP3 := 0.0 // 1/IIP3 accumulated in linear watts
+	for i, s := range stages {
+		g := units.DBToLinear(s.GainDB)
+		f := units.DBToLinear(s.NoiseFigureDB)
+		if f < 1 {
+			return CascadeResult{}, fmt.Errorf("rf: stage %q noise figure below 0 dB", s.Name)
+		}
+		if i == 0 {
+			fTotal = f
+		} else {
+			fTotal += (f - 1) / gain
+		}
+		if !math.IsInf(s.IIP3DBm, 1) {
+			ip3 := units.DBmToWatts(s.IIP3DBm)
+			// Referred to the cascade input: divide by the preceding gain.
+			invIP3 += gain / ip3
+		}
+		gain *= g
+	}
+	res := CascadeResult{
+		GainDB:        units.LinearToDB(gain),
+		NoiseFigureDB: units.LinearToDB(fTotal),
+	}
+	if invIP3 == 0 {
+		res.IIP3DBm = math.Inf(1)
+	} else {
+		res.IIP3DBm = units.WattsToDBm(1 / invIP3)
+	}
+	return res, nil
+}
+
+// SensitivityDBm estimates the receiver sensitivity for the cascade:
+// kTB + NF + required SNR, over the given bandwidth.
+func (c CascadeResult) SensitivityDBm(bandwidthHz, requiredSNRdB float64) float64 {
+	return units.ThermalNoiseDBm(bandwidthHz) + c.NoiseFigureDB + requiredSNRdB
+}
+
+// String formats the cascade result.
+func (c CascadeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gain %.2f dB, NF %.2f dB, IIP3 ", c.GainDB, c.NoiseFigureDB)
+	if math.IsInf(c.IIP3DBm, 1) {
+		b.WriteString("inf")
+	} else {
+		fmt.Fprintf(&b, "%.2f dBm", c.IIP3DBm)
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+package rf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMeasureGainMatchesConfig(t *testing.T) {
+	a, _ := NewAmplifier(AmplifierConfig{Name: "g", GainDB: 14, Model: Linear})
+	c := NewCharacterizer(20e6)
+	if g := c.MeasureGain(a, -60); math.Abs(g-14) > 0.05 {
+		t.Errorf("measured gain %v dB, want 14", g)
+	}
+}
+
+func TestMeasureP1dBMatchesConfig(t *testing.T) {
+	for _, cp := range []float64{-25, -12, -3} {
+		a, _ := NewAmplifier(AmplifierConfig{
+			Name: "cp", GainDB: 10, Model: Cubic, UseCompression: true, CompressionDBm: cp,
+		})
+		c := NewCharacterizer(20e6)
+		got, err := c.MeasureP1dB(a, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-cp) > 0.3 {
+			t.Errorf("measured P1dB %v dBm, want %v", got, cp)
+		}
+	}
+}
+
+func TestMeasureP1dBRejectsLinearBlock(t *testing.T) {
+	a, _ := NewAmplifier(AmplifierConfig{Name: "lin", GainDB: 10, Model: Linear})
+	c := NewCharacterizer(20e6)
+	if _, err := c.MeasureP1dB(a, 0.5); err == nil {
+		t.Error("found a compression point on a linear block")
+	}
+}
+
+func TestMeasureIIP3MatchesConfig(t *testing.T) {
+	for _, ip3 := range []float64{-10, 0, 8} {
+		a, _ := NewAmplifier(AmplifierConfig{
+			Name: "ip3", GainDB: 12, Model: Cubic, IIP3DBm: ip3,
+		})
+		c := NewCharacterizer(20e6)
+		got, err := c.MeasureIIP3(a, ip3-25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-ip3) > 0.3 {
+			t.Errorf("measured IIP3 %v dBm, want %v", got, ip3)
+		}
+	}
+}
+
+func TestMeasureNoiseFigureMatchesConfig(t *testing.T) {
+	fs := 20e6
+	a, _ := NewAmplifier(AmplifierConfig{
+		Name: "nf", GainDB: 20, NoiseFigureDB: 5, Model: Linear,
+		SampleRateHz: fs, NoiseSeed: 11,
+	})
+	c := NewCharacterizer(fs)
+	got, err := c.MeasureNoiseFigure(a, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-5) > 0.3 {
+		t.Errorf("measured NF %v dB, want 5", got)
+	}
+}
+
+func TestMeasureNoiseFigureRejectsNoiselessBlock(t *testing.T) {
+	a, _ := NewAmplifier(AmplifierConfig{Name: "quiet", GainDB: 20, Model: Linear})
+	c := NewCharacterizer(20e6)
+	if _, err := c.MeasureNoiseFigure(a, 20); err == nil {
+		t.Error("measured an NF on a noiseless block")
+	}
+}
+
+func TestMeasureImageRejectionMatchesMixer(t *testing.T) {
+	m, _ := NewMixer(MixerConfig{
+		Name: "iq", IQGainImbalanceDB: 0.3, IQPhaseErrorDeg: 1.5,
+	})
+	c := NewCharacterizer(20e6)
+	got, err := c.MeasureImageRejection(m, -40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-m.ImageRejectionDB()) > 0.3 {
+		t.Errorf("measured IRR %v dB, computed %v", got, m.ImageRejectionDB())
+	}
+	ideal, _ := NewMixer(MixerConfig{Name: "ideal"})
+	irr, err := c.MeasureImageRejection(ideal, -40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if irr < 200 { // numerically infinite
+		t.Errorf("ideal mixer IRR %v dB", irr)
+	}
+}
+
+func TestCharacterizeFullDatasheet(t *testing.T) {
+	a, _ := NewAmplifier(AmplifierConfig{
+		Name: "lna", GainDB: 18, NoiseFigureDB: 2.5,
+		Model: Cubic, UseCompression: true, CompressionDBm: -10,
+		SampleRateHz: 20e6, NoiseSeed: 5,
+	})
+	c := NewCharacterizer(20e6)
+	rep := c.Characterize(a)
+	if math.Abs(rep.GainDB-18) > 0.3 {
+		t.Errorf("gain %v", rep.GainDB)
+	}
+	if math.Abs(rep.P1dBDBm-(-10)) > 0.5 {
+		t.Errorf("P1dB %v", rep.P1dBDBm)
+	}
+	if math.Abs(rep.IIP3DBm-IIP3FromP1dB(-10)) > 1.5 {
+		t.Errorf("IIP3 %v, want ~%v", rep.IIP3DBm, IIP3FromP1dB(-10))
+	}
+	if math.Abs(rep.NoiseFigureDB-2.5) > 0.5 {
+		t.Errorf("NF %v", rep.NoiseFigureDB)
+	}
+	s := rep.String()
+	for _, want := range []string{"gain", "P1dB", "IIP3", "NF", "IRR"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestCharacterizerDefaults(t *testing.T) {
+	c := &Characterizer{SampleRateHz: 20e6, ToneLength: 100} // not a power of two
+	if c.length() != 4096 {
+		t.Errorf("bad ToneLength not defaulted: %d", c.length())
+	}
+	c.ToneLength = 1024
+	if c.length() != 1024 {
+		t.Errorf("valid ToneLength overridden: %d", c.length())
+	}
+	if _, err := (&Characterizer{}).MeasureNoiseFigure(nil, 0); err == nil {
+		t.Error("NF without sample rate accepted")
+	}
+}

@@ -1,0 +1,196 @@
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"wlansim/internal/units"
+)
+
+// LOConfig parameterizes a local oscillator model.
+type LOConfig struct {
+	// LinewidthHz is the Lorentzian 3 dB linewidth of the oscillator,
+	// realized as a Wiener phase process with per-sample variance
+	// 2*pi*linewidth/fs. 0 disables phase noise.
+	LinewidthHz float64
+	// FrequencyOffsetHz is a static LO frequency error.
+	FrequencyOffsetHz float64
+	// SampleRateHz is the simulation rate.
+	SampleRateHz float64
+	// Seed seeds the phase noise generator.
+	Seed int64
+}
+
+// LO models a local oscillator's phase trajectory: static frequency offset
+// plus Wiener phase noise.
+type LO struct {
+	cfg   LOConfig
+	phase float64
+	step  float64
+	sigma float64
+	rng   *rand.Rand
+}
+
+// NewLO builds a local oscillator model.
+func NewLO(cfg LOConfig) (*LO, error) {
+	if cfg.LinewidthHz < 0 {
+		return nil, fmt.Errorf("rf: negative LO linewidth")
+	}
+	if cfg.SampleRateHz <= 0 && (cfg.LinewidthHz > 0 || cfg.FrequencyOffsetHz != 0) {
+		return nil, fmt.Errorf("rf: LO requires a sample rate")
+	}
+	lo := &LO{cfg: cfg}
+	if cfg.SampleRateHz > 0 {
+		lo.step = 2 * math.Pi * cfg.FrequencyOffsetHz / cfg.SampleRateHz
+		lo.sigma = math.Sqrt(2 * math.Pi * cfg.LinewidthHz / cfg.SampleRateHz)
+	}
+	lo.rng = rand.New(rand.NewSource(cfg.Seed))
+	return lo, nil
+}
+
+// Next returns the LO phasor for the next sample.
+func (l *LO) Next() complex128 {
+	v := cmplx.Exp(complex(0, l.phase))
+	l.phase += l.step
+	if l.sigma > 0 {
+		l.phase += l.rng.NormFloat64() * l.sigma
+	}
+	if l.phase > math.Pi || l.phase < -math.Pi {
+		l.phase = math.Mod(l.phase, 2*math.Pi)
+	}
+	return v
+}
+
+// Reset restarts the phase trajectory.
+func (l *LO) Reset() {
+	l.phase = 0
+	l.rng = rand.New(rand.NewSource(l.cfg.Seed))
+}
+
+// MixerConfig parameterizes a complex-baseband mixer model. In the
+// double-conversion receiver's equivalent baseband the frequency translation
+// itself is absorbed into the signal representation; the model carries the
+// mixer's imperfections.
+type MixerConfig struct {
+	// Name identifies the block in cascade reports.
+	Name string
+	// ConversionGainDB is the conversion power gain.
+	ConversionGainDB float64
+	// NoiseFigureDB adds input-referred noise like the amplifier model.
+	NoiseFigureDB float64
+	// LO configures phase noise and frequency error; nil for an ideal LO.
+	LO *LOConfig
+	// IQGainImbalanceDB is the I/Q amplitude mismatch in dB (power).
+	IQGainImbalanceDB float64
+	// IQPhaseErrorDeg is the I/Q quadrature phase error in degrees.
+	IQPhaseErrorDeg float64
+	// DCOffsetDBm injects a static DC term modeling LO self-mixing
+	// (paper §2.2: both mixer inputs at the LO frequency). Use
+	// math.Inf(-1) or leave zero value DisableDC to disable.
+	DCOffsetDBm float64
+	// EnableDC turns the self-mixing DC term on.
+	EnableDC bool
+	// SampleRateHz is the simulation bandwidth for the noise source.
+	SampleRateHz float64
+	// NoiseSeed seeds the noise generator.
+	NoiseSeed int64
+	// DisableNoise turns the noise source off (AMS co-sim limitation).
+	DisableNoise bool
+}
+
+// Mixer is a behavioral down-conversion mixer. It implements Block.
+type Mixer struct {
+	cfg   MixerConfig
+	g     float64
+	lo    *LO
+	mu    complex128 // direct I/Q term
+	nu    complex128 // image (conjugate) term
+	dc    complex128
+	noise *rand.Rand
+	nsig  float64
+}
+
+// NewMixer validates the configuration and builds the model.
+func NewMixer(cfg MixerConfig) (*Mixer, error) {
+	if cfg.NoiseFigureDB < 0 {
+		return nil, fmt.Errorf("rf: mixer %q: negative noise figure", cfg.Name)
+	}
+	if cfg.SampleRateHz <= 0 && cfg.NoiseFigureDB > 0 && !cfg.DisableNoise {
+		return nil, fmt.Errorf("rf: mixer %q: noise figure set but no sample rate", cfg.Name)
+	}
+	m := &Mixer{cfg: cfg, g: units.DBToVoltageGain(cfg.ConversionGainDB)}
+	if cfg.LO != nil {
+		loCfg := *cfg.LO
+		if loCfg.SampleRateHz == 0 {
+			loCfg.SampleRateHz = cfg.SampleRateHz
+		}
+		lo, err := NewLO(loCfg)
+		if err != nil {
+			return nil, err
+		}
+		m.lo = lo
+	}
+	// I/Q imbalance terms: received r = mu*x + nu*conj(x) with
+	// mu = (1 + a*e^{-j theta})/2, nu = (1 - a*e^{+j theta})/2,
+	// a the linear amplitude mismatch.
+	alpha := math.Pow(10, cfg.IQGainImbalanceDB/20)
+	theta := cfg.IQPhaseErrorDeg * math.Pi / 180
+	m.mu = (1 + cmplx.Exp(complex(0, -theta))*complex(alpha, 0)) / 2
+	m.nu = (1 - cmplx.Exp(complex(0, theta))*complex(alpha, 0)) / 2
+	if cfg.EnableDC {
+		m.dc = complex(units.DBmToAmplitude(cfg.DCOffsetDBm), 0)
+	}
+	if cfg.NoiseFigureDB > 0 && !cfg.DisableNoise {
+		f := units.DBToLinear(cfg.NoiseFigureDB)
+		np := units.Boltzmann * units.RoomTemperature * cfg.SampleRateHz * (f - 1)
+		m.nsig = math.Sqrt(np / 2)
+		m.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
+	}
+	return m, nil
+}
+
+// Config returns the mixer configuration.
+func (m *Mixer) Config() MixerConfig { return m.cfg }
+
+// ImageRejectionDB returns the I/Q image rejection ratio implied by the
+// imbalance settings (+Inf for a perfectly balanced mixer).
+func (m *Mixer) ImageRejectionDB() float64 {
+	n := cmplx.Abs(m.nu)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return 20 * math.Log10(cmplx.Abs(m.mu)/n)
+}
+
+// Reset restarts the LO and noise source.
+func (m *Mixer) Reset() {
+	if m.lo != nil {
+		m.lo.Reset()
+	}
+	if m.noise != nil {
+		m.noise = rand.New(rand.NewSource(m.cfg.NoiseSeed))
+	}
+}
+
+// ProcessSample mixes one sample.
+func (m *Mixer) ProcessSample(x complex128) complex128 {
+	if m.noise != nil {
+		x += complex(m.noise.NormFloat64()*m.nsig, m.noise.NormFloat64()*m.nsig)
+	}
+	y := m.mu*x + m.nu*cmplx.Conj(x)
+	if m.lo != nil {
+		y *= m.lo.Next()
+	}
+	y *= complex(m.g, 0)
+	return y + m.dc
+}
+
+// Process mixes a frame in place and returns it.
+func (m *Mixer) Process(x []complex128) []complex128 {
+	for i, v := range x {
+		x[i] = m.ProcessSample(v)
+	}
+	return x
+}

@@ -1,0 +1,168 @@
+package rf
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"wlansim/internal/dsp"
+	"wlansim/internal/units"
+)
+
+func TestMixerConversionGain(t *testing.T) {
+	m, err := NewMixer(MixerConfig{Name: "m", ConversionGainDB: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := toneAt(512, 0.1, units.DBmToAmplitude(-30))
+	out := m.Process(in)
+	if got := units.MeanPowerDBm(out); math.Abs(got-(-22)) > 0.01 {
+		t.Errorf("output %v dBm, want -22", got)
+	}
+}
+
+func TestMixerIdealHasInfiniteImageRejection(t *testing.T) {
+	m, _ := NewMixer(MixerConfig{Name: "ideal"})
+	if !math.IsInf(m.ImageRejectionDB(), 1) {
+		t.Errorf("ideal mixer IRR %v, want +Inf", m.ImageRejectionDB())
+	}
+	// Pass-through at 0 dB gain.
+	x := m.ProcessSample(3 + 4i)
+	if cmplx.Abs(x-(3+4i)) > 1e-12 {
+		t.Errorf("ideal mixer altered the sample: %v", x)
+	}
+}
+
+func TestMixerIQImbalanceCreatesImage(t *testing.T) {
+	m, err := NewMixer(MixerConfig{
+		Name: "iq", IQGainImbalanceDB: 0.5, IQPhaseErrorDeg: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A tone at +nu acquires an image at -nu whose suppression equals the
+	// image rejection ratio.
+	n := 1024
+	bin := 100
+	x := toneAt(n, float64(bin)/float64(n), 1)
+	m.Process(x)
+	fx := dsp.FFT(x)
+	direct := cmplx.Abs(fx[bin])
+	image := cmplx.Abs(fx[n-bin])
+	gotIRR := 20 * math.Log10(direct/image)
+	if math.Abs(gotIRR-m.ImageRejectionDB()) > 0.1 {
+		t.Errorf("measured IRR %v dB, computed %v dB", gotIRR, m.ImageRejectionDB())
+	}
+	// Typical 0.5 dB / 2 deg imbalance gives IRR around 30 dB.
+	if m.ImageRejectionDB() < 25 || m.ImageRejectionDB() > 40 {
+		t.Errorf("IRR %v dB outside plausible range", m.ImageRejectionDB())
+	}
+}
+
+func TestMixerDCOffset(t *testing.T) {
+	m, err := NewMixer(MixerConfig{Name: "dc", EnableDC: true, DCOffsetDBm: -40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Process(make([]complex128, 1000))
+	if got := units.MeanPowerDBm(out); math.Abs(got-(-40)) > 0.01 {
+		t.Errorf("DC power %v dBm, want -40", got)
+	}
+}
+
+func TestMixerPhaseNoiseGrowsWithLinewidth(t *testing.T) {
+	variance := func(lw float64) float64 {
+		m, err := NewMixer(MixerConfig{
+			Name: "pn", SampleRateHz: 20e6,
+			LO: &LOConfig{LinewidthHz: lw, Seed: 5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]complex128, 20000)
+		for i := range x {
+			x[i] = 1
+		}
+		m.Process(x)
+		var acc float64
+		for _, v := range x {
+			p := cmplx.Phase(v)
+			acc += p * p
+		}
+		return acc / float64(len(x))
+	}
+	v0 := variance(0)
+	v1 := variance(100)
+	v2 := variance(10000)
+	if v0 != 0 {
+		t.Errorf("zero linewidth produced phase noise %v", v0)
+	}
+	if !(v2 > v1*10) {
+		t.Errorf("phase variance %v (100 Hz) vs %v (10 kHz): not growing", v1, v2)
+	}
+}
+
+func TestLOFrequencyOffset(t *testing.T) {
+	lo, err := NewLO(LOConfig{FrequencyOffsetHz: 1e5, SampleRateHz: 20e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := lo.Next()
+	b := lo.Next()
+	step := cmplx.Phase(b * cmplx.Conj(a))
+	want := 2 * math.Pi * 1e5 / 20e6
+	if math.Abs(step-want) > 1e-12 {
+		t.Errorf("phase step %v, want %v", step, want)
+	}
+	lo.Reset()
+	if got := lo.Next(); cmplx.Abs(got-a) > 1e-15 {
+		t.Error("Reset did not restart the LO phase")
+	}
+}
+
+func TestMixerNoiseFigure(t *testing.T) {
+	fs := 20e6
+	m, err := NewMixer(MixerConfig{
+		Name: "nf", ConversionGainDB: 10, NoiseFigureDB: 9,
+		SampleRateHz: fs, NoiseSeed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.Process(make([]complex128, 100000))
+	f := units.DBToLinear(9.0)
+	want := units.WattsToDBm(units.Boltzmann*units.RoomTemperature*fs*(f-1)) + 10
+	if got := units.MeanPowerDBm(out); math.Abs(got-want) > 0.3 {
+		t.Errorf("mixer noise %v dBm, want %v", got, want)
+	}
+}
+
+func TestMixerValidation(t *testing.T) {
+	if _, err := NewMixer(MixerConfig{NoiseFigureDB: -2}); err == nil {
+		t.Error("accepted negative NF")
+	}
+	if _, err := NewMixer(MixerConfig{NoiseFigureDB: 5}); err == nil {
+		t.Error("accepted NF without sample rate")
+	}
+	if _, err := NewLO(LOConfig{LinewidthHz: -1}); err == nil {
+		t.Error("accepted negative linewidth")
+	}
+	if _, err := NewLO(LOConfig{LinewidthHz: 10}); err == nil {
+		t.Error("accepted linewidth without sample rate")
+	}
+}
+
+func TestMixerResetReproducible(t *testing.T) {
+	m, _ := NewMixer(MixerConfig{
+		Name: "rep", NoiseFigureDB: 10, SampleRateHz: 20e6, NoiseSeed: 9,
+		LO: &LOConfig{LinewidthHz: 1000, Seed: 8},
+	})
+	a := dsp.Clone(m.Process(make([]complex128, 32)))
+	m.Reset()
+	b := m.Process(make([]complex128, 32))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("mixer not reproducible after Reset")
+		}
+	}
+}

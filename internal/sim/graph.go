@@ -1,0 +1,313 @@
+// Package sim is the system-level simulation engine standing in for SPW
+// (paper §3.1): a frame-based dataflow graph of signal-processing blocks
+// with equidistant complex samples, a topological scheduler, signal probes
+// that can be deselected to avoid data overload (§5.1), and a parameter
+// sweep manager (§4.1).
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ProcessFunc transforms one frame per input port into one frame per output
+// port. Frames may change length (rate-changing blocks).
+type ProcessFunc func(in [][]complex128) ([][]complex128, error)
+
+// SourceFunc produces the next source frame; done reports the end of the
+// stimulus.
+type SourceFunc func(frameLen int) (frame []complex128, done bool)
+
+type node struct {
+	name    string
+	nIn     int
+	nOut    int
+	fn      ProcessFunc
+	src     SourceFunc
+	inputs  []*edge // length nIn, filled by Connect
+	outputs [][]*edge
+	order   int
+}
+
+type edge struct {
+	from    *node
+	port    int
+	frame   []complex128
+	hasData bool
+}
+
+// Probe records the samples flowing through a connection.
+type Probe struct {
+	// Name identifies the probe.
+	Name string
+	// Enabled controls recording; disabled probes cost nothing (the paper
+	// notes probes must be deselected in long BER runs).
+	Enabled bool
+	// Samples holds everything recorded so far.
+	Samples []complex128
+}
+
+// Graph is a dataflow block diagram.
+type Graph struct {
+	nodes  map[string]*node
+	order  []*node
+	probes map[string]*probeAttachment
+	sorted bool
+}
+
+type probeAttachment struct {
+	probe *Probe
+	node  string
+	port  int
+}
+
+// NewGraph creates an empty block diagram.
+func NewGraph() *Graph {
+	return &Graph{nodes: map[string]*node{}, probes: map[string]*probeAttachment{}}
+}
+
+// AddSource registers a stimulus block with one output and no inputs.
+func (g *Graph) AddSource(name string, src SourceFunc) error {
+	if src == nil {
+		return fmt.Errorf("sim: source %q has no function", name)
+	}
+	return g.add(&node{name: name, nOut: 1, src: src})
+}
+
+// AddBlock registers a processing block with nIn inputs and nOut outputs.
+func (g *Graph) AddBlock(name string, nIn, nOut int, fn ProcessFunc) error {
+	if fn == nil {
+		return fmt.Errorf("sim: block %q has no function", name)
+	}
+	if nIn < 1 || nOut < 0 {
+		return fmt.Errorf("sim: block %q has invalid port counts %d/%d", name, nIn, nOut)
+	}
+	return g.add(&node{name: name, nIn: nIn, nOut: nOut, fn: fn})
+}
+
+// AddSink registers a single-input block that consumes frames.
+func (g *Graph) AddSink(name string, fn func(frame []complex128) error) error {
+	return g.AddBlock(name, 1, 0, func(in [][]complex128) ([][]complex128, error) {
+		return nil, fn(in[0])
+	})
+}
+
+func (g *Graph) add(n *node) error {
+	if _, dup := g.nodes[n.name]; dup {
+		return fmt.Errorf("sim: duplicate block name %q", n.name)
+	}
+	n.inputs = make([]*edge, n.nIn)
+	n.outputs = make([][]*edge, n.nOut)
+	g.nodes[n.name] = n
+	g.sorted = false
+	return nil
+}
+
+// Connect wires output port fromPort of block from to input port toPort of
+// block to. An output may fan out to several inputs; an input accepts
+// exactly one connection.
+func (g *Graph) Connect(from string, fromPort int, to string, toPort int) error {
+	fn, ok := g.nodes[from]
+	if !ok {
+		return fmt.Errorf("sim: unknown block %q", from)
+	}
+	tn, ok := g.nodes[to]
+	if !ok {
+		return fmt.Errorf("sim: unknown block %q", to)
+	}
+	if fromPort < 0 || fromPort >= fn.nOut {
+		return fmt.Errorf("sim: %q has no output port %d", from, fromPort)
+	}
+	if toPort < 0 || toPort >= tn.nIn {
+		return fmt.Errorf("sim: %q has no input port %d", to, toPort)
+	}
+	if tn.inputs[toPort] != nil {
+		return fmt.Errorf("sim: input %q:%d already connected", to, toPort)
+	}
+	e := &edge{from: fn, port: fromPort}
+	fn.outputs[fromPort] = append(fn.outputs[fromPort], e)
+	tn.inputs[toPort] = e
+	g.sorted = false
+	return nil
+}
+
+// AddProbe attaches a probe to output port port of the named block.
+func (g *Graph) AddProbe(probeName, blockName string, port int) (*Probe, error) {
+	n, ok := g.nodes[blockName]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown block %q", blockName)
+	}
+	if port < 0 || port >= n.nOut {
+		return nil, fmt.Errorf("sim: %q has no output port %d", blockName, port)
+	}
+	if _, dup := g.probes[probeName]; dup {
+		return nil, fmt.Errorf("sim: duplicate probe %q", probeName)
+	}
+	p := &Probe{Name: probeName, Enabled: true}
+	g.probes[probeName] = &probeAttachment{probe: p, node: blockName, port: port}
+	return p, nil
+}
+
+// topoSort orders the nodes so that every block runs after its producers.
+func (g *Graph) topoSort() error {
+	if g.sorted {
+		return nil
+	}
+	state := map[*node]int{} // 0 unvisited, 1 visiting, 2 done
+	var order []*node
+	var visit func(n *node) error
+	visit = func(n *node) error {
+		switch state[n] {
+		case 1:
+			return fmt.Errorf("sim: feedback loop through %q (delay-free loops unsupported)", n.name)
+		case 2:
+			return nil
+		}
+		state[n] = 1
+		for i, e := range n.inputs {
+			if e == nil {
+				return fmt.Errorf("sim: input %q:%d unconnected", n.name, i)
+			}
+			if err := visit(e.from); err != nil {
+				return err
+			}
+		}
+		state[n] = 2
+		order = append(order, n)
+		return nil
+	}
+	// Deterministic iteration order.
+	names := make([]string, 0, len(g.nodes))
+	for name := range g.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := visit(g.nodes[name]); err != nil {
+			return err
+		}
+	}
+	g.order = order
+	for i, n := range order {
+		n.order = i
+	}
+	g.sorted = true
+	return nil
+}
+
+// Step runs one scheduling round with the given source frame length.
+// It returns done=true when any source reports end of stimulus.
+func (g *Graph) Step(frameLen int) (done bool, err error) {
+	if err := g.topoSort(); err != nil {
+		return false, err
+	}
+	for _, n := range g.order {
+		var outs [][]complex128
+		if n.src != nil {
+			frame, d := n.src(frameLen)
+			if d {
+				return true, nil
+			}
+			outs = [][]complex128{frame}
+		} else {
+			ins := make([][]complex128, n.nIn)
+			for i, e := range n.inputs {
+				if !e.hasData {
+					return false, fmt.Errorf("sim: input %q:%d has no frame", n.name, i)
+				}
+				ins[i] = e.frame
+			}
+			outs, err = n.fn(ins)
+			if err != nil {
+				return false, fmt.Errorf("sim: block %q: %w", n.name, err)
+			}
+			if len(outs) != n.nOut {
+				return false, fmt.Errorf("sim: block %q produced %d frames, declared %d outputs",
+					n.name, len(outs), n.nOut)
+			}
+		}
+		for p, fanout := range n.outputs {
+			for _, e := range fanout {
+				e.frame = outs[p]
+				e.hasData = true
+			}
+		}
+		// Probes on this node's outputs.
+		for _, att := range g.probes {
+			if att.node == n.name && att.probe.Enabled && att.port < len(outs) {
+				att.probe.Samples = append(att.probe.Samples, outs[att.port]...)
+			}
+		}
+	}
+	return false, nil
+}
+
+// Run executes scheduling rounds until a source finishes or maxSteps rounds
+// have run (0 means no limit).
+func (g *Graph) Run(frameLen, maxSteps int) (steps int, err error) {
+	for maxSteps == 0 || steps < maxSteps {
+		done, err := g.Step(frameLen)
+		if err != nil {
+			return steps, err
+		}
+		if done {
+			return steps, nil
+		}
+		steps++
+	}
+	return steps, nil
+}
+
+// BlockNames returns the schedule order (after a successful sort).
+func (g *Graph) BlockNames() ([]string, error) {
+	if err := g.topoSort(); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(g.order))
+	for i, n := range g.order {
+		names[i] = n.name
+	}
+	return names, nil
+}
+
+// WriteDOT renders the block diagram in Graphviz DOT form — the textual
+// equivalent of the paper's Figure 3 schematic view.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if err := g.topoSort(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("digraph schematic {\n  rankdir=LR;\n  node [shape=box];\n")
+	for _, n := range g.order {
+		shape := "box"
+		if n.src != nil {
+			shape = "ellipse"
+		} else if n.nOut == 0 {
+			shape = "doubleoctagon"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", n.name, shape)
+	}
+	for _, n := range g.order {
+		for port, fanout := range n.outputs {
+			for _, e := range fanout {
+				// Find the consumer of this edge.
+				for _, m := range g.order {
+					for inPort, in := range m.inputs {
+						if in == e {
+							if n.nOut > 1 || m.nIn > 1 {
+								fmt.Fprintf(&b, "  %q -> %q [label=\"%d:%d\"];\n", n.name, m.name, port, inPort)
+							} else {
+								fmt.Fprintf(&b, "  %q -> %q;\n", n.name, m.name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

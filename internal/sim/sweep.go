@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+
+	"wlansim/internal/measure"
+)
+
+// Sweep is the simulation-manager facility for measuring a metric versus a
+// swept parameter (paper §4.1: "The simulation manager allows to setup
+// parameter sweeps").
+type Sweep struct {
+	// Name labels the resulting series.
+	Name string
+	// XLabel and YLabel document the axes.
+	XLabel string
+	YLabel string
+	// Values are the parameter values to visit, in order.
+	Values []float64
+	// Run builds and executes one simulation at the given parameter value
+	// and returns the measured metric.
+	Run func(value float64) (float64, error)
+	// OnPoint, if set, is called after each point (progress reporting).
+	OnPoint func(value, metric float64)
+}
+
+// Execute runs the sweep and collects the series.
+func (s *Sweep) Execute() (*measure.Series, error) {
+	if s.Run == nil {
+		return nil, fmt.Errorf("sim: sweep %q has no Run function", s.Name)
+	}
+	if len(s.Values) == 0 {
+		return nil, fmt.Errorf("sim: sweep %q has no values", s.Name)
+	}
+	series := &measure.Series{Label: s.Name, XLabel: s.XLabel, YLabel: s.YLabel}
+	for _, v := range s.Values {
+		m, err := s.Run(v)
+		if err != nil {
+			return nil, fmt.Errorf("sim: sweep %q at %g: %w", s.Name, v, err)
+		}
+		series.Add(v, m)
+		if s.OnPoint != nil {
+			s.OnPoint(v, m)
+		}
+	}
+	return series, nil
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 1 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + step*float64(i)
+	}
+	return out
+}

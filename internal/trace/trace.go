@@ -1,0 +1,96 @@
+// Package trace stores and loads complex baseband captures — the stand-in
+// for the SPW flow's waveform files and viewers (SigCalc, signalscan, §3.1,
+// §4.3). The format is a small JSON header line followed by interleaved
+// little-endian float64 I/Q samples, so captures are self-describing and
+// stream-friendly.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Header describes a stored capture.
+type Header struct {
+	// Format identifies the container ("wlansim-trace-v1").
+	Format string `json:"format"`
+	// SampleRateHz is the capture's sample rate.
+	SampleRateHz float64 `json:"sample_rate_hz"`
+	// CenterFrequencyHz is the RF center the baseband refers to (0 if
+	// unknown; 5.2e9 for the paper's channel).
+	CenterFrequencyHz float64 `json:"center_frequency_hz,omitempty"`
+	// Samples is the number of complex samples that follow.
+	Samples int `json:"samples"`
+	// Description is free-form provenance text.
+	Description string `json:"description,omitempty"`
+}
+
+// formatID is the container identifier.
+const formatID = "wlansim-trace-v1"
+
+// Write stores a capture: one JSON header line, then len(x) interleaved
+// I/Q float64 pairs in little-endian order.
+func Write(w io.Writer, hdr Header, x []complex128) error {
+	if hdr.SampleRateHz <= 0 {
+		return fmt.Errorf("trace: sample rate %g must be positive", hdr.SampleRateHz)
+	}
+	hdr.Format = formatID
+	hdr.Samples = len(x)
+	bw := bufio.NewWriter(w)
+	enc, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(enc); err != nil {
+		return err
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	for _, v := range x {
+		binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(real(v)))
+		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(imag(v)))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read loads a capture written by Write.
+func Read(r io.Reader) (Header, []complex128, error) {
+	var hdr Header
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return hdr, nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("trace: parsing header: %w", err)
+	}
+	if hdr.Format != formatID {
+		return hdr, nil, fmt.Errorf("trace: unknown format %q", hdr.Format)
+	}
+	if hdr.Samples < 0 {
+		return hdr, nil, fmt.Errorf("trace: negative sample count %d", hdr.Samples)
+	}
+	if hdr.SampleRateHz <= 0 {
+		return hdr, nil, fmt.Errorf("trace: header sample rate %g", hdr.SampleRateHz)
+	}
+	x := make([]complex128, hdr.Samples)
+	buf := make([]byte, 16)
+	for i := range x {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return hdr, nil, fmt.Errorf("trace: sample %d: %w", i, err)
+		}
+		re := math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8]))
+		im := math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16]))
+		x[i] = complex(re, im)
+	}
+	return hdr, x, nil
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 1000)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	var buf bytes.Buffer
+	hdr := Header{
+		SampleRateHz:      20e6,
+		CenterFrequencyHz: 5.2e9,
+		Description:       "test capture",
+	}
+	if err := Write(&buf, hdr, x); err != nil {
+		t.Fatal(err)
+	}
+	got, y, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleRateHz != 20e6 || got.CenterFrequencyHz != 5.2e9 || got.Samples != 1000 {
+		t.Errorf("header %+v", got)
+	}
+	if got.Description != "test capture" {
+		t.Errorf("description %q", got.Description)
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(res, ims []float64) bool {
+		n := len(res)
+		if len(ims) < n {
+			n = len(ims)
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			re, im := res[i], ims[i]
+			if math.IsNaN(re) || math.IsNaN(im) {
+				re, im = 0, 0 // NaN != NaN breaks comparison, not storage
+			}
+			x[i] = complex(re, im)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, Header{SampleRateHz: 1e6}, x); err != nil {
+			return false
+		}
+		_, y, err := Read(&buf)
+		if err != nil || len(y) != len(x) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{SampleRateHz: 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	hdr, x, err := Read(&buf)
+	if err != nil || len(x) != 0 || hdr.Samples != 0 {
+		t.Errorf("empty capture round trip: %v %v %v", hdr, x, err)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{}, nil); err == nil {
+		t.Error("accepted zero sample rate")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Error("accepted garbage header")
+	}
+	if _, _, err := Read(strings.NewReader(`{"format":"other","sample_rate_hz":1,"samples":0}` + "\n")); err == nil {
+		t.Error("accepted unknown format")
+	}
+	if _, _, err := Read(strings.NewReader(`{"format":"wlansim-trace-v1","sample_rate_hz":1,"samples":5}` + "\n")); err == nil {
+		t.Error("accepted truncated payload")
+	}
+	if _, _, err := Read(strings.NewReader(`{"format":"wlansim-trace-v1","sample_rate_hz":0,"samples":0}` + "\n")); err == nil {
+		t.Error("accepted zero sample rate header")
+	}
+	if _, _, err := Read(strings.NewReader(`{"format":"wlansim-trace-v1","sample_rate_hz":1,"samples":-3}` + "\n")); err == nil {
+		t.Error("accepted negative sample count")
+	}
+	if _, _, err := Read(strings.NewReader("")); err == nil {
+		t.Error("accepted empty input")
+	}
+}

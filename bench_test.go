@@ -62,7 +62,7 @@ func BenchmarkFigure4_SpectrumAdjacentChannel(b *testing.B) {
 	var report string
 	var adjacentOffset float64
 	for i := 0; i < b.N; i++ {
-		psd, rep, err := wlansim.SpectrumExperiment(-62, true)
+		psd, rep, err := wlansim.SpectrumExperiment(-62, true, 42)
 		if err != nil {
 			b.Fatal(err)
 		}

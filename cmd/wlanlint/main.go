@@ -1,0 +1,87 @@
+// Command wlanlint runs the simulator's domain-invariant static-analysis
+// suite (internal/lint) over the module: dB/linear conversion discipline,
+// seeded-RNG enforcement, float equality and unkeyed config literals.
+//
+// Usage:
+//
+//	go run ./cmd/wlanlint [-list] [-analyzers a,b] [packages...]
+//
+// Patterns are directories relative to the working directory, with go-style
+// /... recursion; the default is ./... . Exit status is 0 when clean, 1 when
+// findings were reported, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wlansim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("wlanlint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: wlanlint [-list] [-analyzers a,b] [packages...]")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*lint.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "wlanlint: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlanlint:", err)
+		return 2
+	}
+	pkgs, err := lint.LoadPackages(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlanlint:", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wlanlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

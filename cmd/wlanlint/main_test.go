@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListAndUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("-list exited %d, want 0", code)
+	}
+	if code := run([]string{"-analyzers", "nosuchanalyzer"}); code != 2 {
+		t.Errorf("unknown analyzer exited %d, want 2", code)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	if code := run([]string{filepath.Join("..", "..", "internal", "units")}); code != 0 {
+		t.Errorf("clean package exited %d, want 0", code)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixture.example/bad\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "bad.go"), `package bad
+
+import "math/rand"
+
+func Draw(db float64) float64 {
+	return rand.Float64() * db
+}
+`)
+	if code := run([]string{dir + string(filepath.Separator) + "..."}); code != 1 {
+		t.Errorf("package with findings exited %d, want 1", code)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

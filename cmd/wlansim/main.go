@@ -115,10 +115,11 @@ func cmdSpectrum(args []string) error {
 	power := fs.Float64("power", -62, "wanted channel power (dBm)")
 	second := fs.Bool("second", false, "include the second adjacent channel (+40 MHz, +32 dB)")
 	points := fs.Int("points", 96, "output points")
+	seed := fs.Int64("seed", 42, "payload RNG seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	psd, rep, err := core.SpectrumExperiment(*power, *second)
+	psd, rep, err := core.SpectrumExperiment(*power, *second, *seed)
 	if err != nil {
 		return err
 	}

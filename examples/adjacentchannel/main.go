@@ -17,7 +17,7 @@ func main() {
 	base.Packets = 3
 
 	// First show the spectrum the receiver faces (Figure 4).
-	psd, report, err := wlansim.SpectrumExperiment(base.WantedPowerDBm, false)
+	psd, report, err := wlansim.SpectrumExperiment(base.WantedPowerDBm, false, base.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}

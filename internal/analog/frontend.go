@@ -74,7 +74,7 @@ func NewCTNonlinearAmp(gainDB, compressionDBm, noiseFigureDB, sampleRateHz float
 	// fundamental gain is a1 + (3/4) a3 A^2. 1 dB compression at tone power
 	// P1 (A^2 = 2 P1): (3/4)|a3| 2 P1 = a1 (1 - 10^(-1/20)).
 	p1 := units.DBmToWatts(compressionDBm)
-	k := 1 - math.Pow(10, -1.0/20)
+	k := 1 - units.DBToVoltageGain(-1.0)
 	a.a3 = -a.g * k / (1.5 * p1)
 	// Clip where the cubic's slope reaches zero: v = sqrt(a1/(3|a3|)).
 	vc := math.Sqrt(a.g / (3 * math.Abs(a.a3)))
@@ -274,7 +274,7 @@ func NewFrontEnd(cfg FrontEndConfig) (*FrontEnd, error) {
 			return nil, err
 		}
 	}
-	fe.qGain = math.Pow(10, cfg.IQGainImbalanceDB/20)
+	fe.qGain = units.DBToVoltageGain(cfg.IQGainImbalanceDB)
 	theta := cfg.IQPhaseErrorDeg * math.Pi / 180
 	fe.qCos, fe.qSin = math.Cos(theta), math.Sin(theta)
 	if cfg.EnableDC {

@@ -176,9 +176,10 @@ func IP3Sweep(base Config, iip3DBm []float64, withAdjacent bool) (*measure.Serie
 }
 
 // SpectrumExperiment reproduces Figure 4: the PSD of an OFDM burst with the
-// first adjacent channel, centered at the 5.2 GHz carrier.
-func SpectrumExperiment(wantedDBm float64, withSecondAdjacent bool) (*dsp.PSD, measure.ChannelPowerReport, error) {
-	rng := rand.New(rand.NewSource(42))
+// first adjacent channel, centered at the 5.2 GHz carrier. The seed makes
+// the random payloads of the wanted and adjacent bursts reproducible.
+func SpectrumExperiment(wantedDBm float64, withSecondAdjacent bool, seed int64) (*dsp.PSD, measure.ChannelPowerReport, error) {
+	rng := rand.New(rand.NewSource(seed))
 	total := 6000
 	wanted, err := interfererWaveform(24, total, rng)
 	if err != nil {
@@ -379,6 +380,7 @@ func StandardsTableText() string {
 			if i > 0 {
 				rates += ", "
 			}
+			//lint:ignore floateq table rates are exact small constants; integrality test is intentional
 			if r == float64(int(r)) {
 				rates += fmt.Sprintf("%d", int(r))
 			} else {

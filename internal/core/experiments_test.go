@@ -92,7 +92,7 @@ func TestIP3SweepShape(t *testing.T) {
 }
 
 func TestSpectrumExperimentLevels(t *testing.T) {
-	psd, rep, err := SpectrumExperiment(-62, false)
+	psd, rep, err := SpectrumExperiment(-62, false, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestSpectrumExperimentLevels(t *testing.T) {
 		t.Errorf("second adjacent %v dBm unexpectedly hot", rep.SecondAdjacentDBm)
 	}
 
-	_, rep2, err := SpectrumExperiment(-62, true)
+	_, rep2, err := SpectrumExperiment(-62, true, 42)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -154,7 +154,7 @@ func (b *Bench) BuildSystemGraph() (*SystemGraph, error) {
 	// Optional channel noise on the composite.
 	antennaOut := "air-sum"
 	if cfg.ChannelSNRdB != nil {
-		noiseW := units.DBmToWatts(cfg.WantedPowerDBm) / math.Pow(10, *cfg.ChannelSNRdB/10) * float64(os)
+		noiseW := units.DBmToWatts(cfg.WantedPowerDBm) / units.DBToLinear(*cfg.ChannelSNRdB) * float64(os)
 		if err := g.AddBlock("awgn", 1, 1, sim.AWGNBlock(channel.NewAWGN(noiseW, rng.Int63()))); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"wlansim/internal/measure"
+	"wlansim/internal/sim"
+)
+
+// TestSweepRaceSmoke runs two identical small BER sweeps concurrently
+// through the simulation manager (sim.Sweep driving full Bench runs).
+// Under `go test -race` this is the gate for the ROADMAP's parallel-sweep
+// work: any shared RNG or mutable block state between concurrently built
+// benches trips the race detector, and even without -race a divergence
+// between the two series exposes hidden shared state.
+func TestSweepRaceSmoke(t *testing.T) {
+	run := func() (*measure.Series, error) {
+		sweep := &sim.Sweep{
+			Name:   "ber-vs-power",
+			XLabel: "wanted power [dBm]",
+			YLabel: "BER",
+			Values: []float64{-70, -62},
+			Run: func(powerDBm float64) (float64, error) {
+				cfg := DefaultConfig()
+				cfg.Packets = 1
+				cfg.PSDULen = 40
+				cfg.WantedPowerDBm = powerDBm
+				bench, err := NewBench(cfg)
+				if err != nil {
+					return 0, err
+				}
+				res, err := bench.Run()
+				if err != nil {
+					return 0, err
+				}
+				return res.BER(), nil
+			},
+		}
+		return sweep.Execute()
+	}
+
+	const workers = 2
+	series := make([]*measure.Series, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			series[i], errs[i] = run()
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent sweep %d failed: %v", i, err)
+		}
+	}
+	for i := 1; i < workers; i++ {
+		if len(series[i].Points) != len(series[0].Points) {
+			t.Fatalf("sweep %d returned %d points, sweep 0 returned %d",
+				i, len(series[i].Points), len(series[0].Points))
+		}
+		for j, p := range series[i].Points {
+			q := series[0].Points[j]
+			if p.X != q.X || p.Y != q.Y {
+				t.Errorf("point %d diverges between concurrent sweeps: (%g,%g) vs (%g,%g); shared state suspected",
+					j, p.X, p.Y, q.X, q.Y)
+			}
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"wlansim/internal/units"
 )
 
 // Biquad is a second-order IIR section in direct form II transposed with
@@ -111,7 +113,7 @@ func (f *IIR) MagnitudeDB(nu float64) float64 {
 	if m <= 0 {
 		return math.Inf(-1)
 	}
-	return 20 * math.Log10(m)
+	return units.VoltageGainToDB(m)
 }
 
 // FilterShape selects the passband geometry of an IIR design.
@@ -147,7 +149,7 @@ func butterworthPoles(order int) []complex128 {
 // chebyshev1Poles returns the normalized analog poles for a type-I Chebyshev
 // prototype with the given passband ripple in dB, plus the ripple factor.
 func chebyshev1Poles(order int, rippleDB float64) ([]complex128, float64) {
-	eps := math.Sqrt(math.Pow(10, rippleDB/10) - 1)
+	eps := math.Sqrt(units.DBToLinear(rippleDB) - 1)
 	mu := math.Asinh(1/eps) / float64(order)
 	poles := make([]complex128, order)
 	for k := 1; k <= order; k++ {

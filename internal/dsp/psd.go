@@ -3,6 +3,8 @@ package dsp
 import (
 	"fmt"
 	"math"
+
+	"wlansim/internal/units"
 )
 
 // PSD is a two-sided power spectral density estimate centered on 0 Hz.
@@ -22,7 +24,7 @@ func (p *PSD) DBmPerHz(i int) float64 {
 	if d <= 0 {
 		return math.Inf(-1)
 	}
-	return 10*math.Log10(d) + 30
+	return units.WattsToDBm(d)
 }
 
 // BandPowerW integrates the PSD between two frequencies (Hz, relative to

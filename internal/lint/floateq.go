@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != on floating-point (or complex) operands in
+// simulator code. Computed powers, gains and metrics accumulate rounding
+// error, so exact equality silently stops matching when an algorithm is
+// reordered — the same curve-corrupting failure class the paper's
+// verification flow exists to catch.
+//
+// Comparisons against the exact constant zero are exempt: zero is exactly
+// representable and is the conventional sentinel for "empty signal" or
+// "feature disabled" throughout the simulator.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on float or complex operands outside tests " +
+		"(comparisons against the constant 0 are allowed as sentinels)",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	inspect(pass, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+			return true
+		}
+		if !isFloatExpr(pass, bin.X) && !isFloatExpr(pass, bin.Y) {
+			return true
+		}
+		if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+			return true
+		}
+		pass.Reportf(bin.Pos(),
+			"compare with a tolerance, e.g. math.Abs(a-b) <= eps, or justify with //lint:ignore floateq <reason>",
+			"floating-point operands compared with %s", bin.Op)
+		return true
+	})
+}
+
+// isFloatExpr reports whether the expression has float or complex type.
+func isFloatExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isZeroConst reports whether the expression is the numeric constant 0.
+func isZeroConst(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	if v.Kind() == constant.Float {
+		return constant.Sign(v) == 0
+	}
+	if c := constant.ToComplex(tv.Value); c.Kind() == constant.Complex {
+		return constant.Sign(constant.Real(c)) == 0 && constant.Sign(constant.Imag(c)) == 0
+	}
+	return false
+}

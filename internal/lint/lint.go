@@ -1,0 +1,208 @@
+// Package lint implements wlanlint, the simulator's domain-invariant
+// static-analysis suite (see cmd/wlanlint/README.md).
+//
+// The RF subsystem is verified against BER and spectrum curves, and the
+// failure class that silently corrupts those curves is not a crash but a
+// convention violation: an inline dB↔linear conversion with the wrong
+// divisor, a stochastic block drawing from the shared global RNG, an exact
+// float comparison on a computed power, or a positional Config literal that
+// shifts meaning when the struct grows. Each analyzer in this package
+// encodes one such project invariant over the typed AST.
+//
+// Analyzers operate on packages loaded by LoadPackages, which type-checks
+// the module using only the standard library (go/parser, go/types and the
+// source importer), keeping the tool as dependency-free as the simulator
+// itself. Test files are excluded: the invariants guard simulator code, and
+// tests legitimately use exact comparisons and ad-hoc conversions.
+//
+// Any diagnostic can be suppressed by an explicit, justified directive on
+// the offending line or the line above it:
+//
+//	//lint:ignore <analyzer|all> <reason>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding reported by an analyzer.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Analyzer names the analyzer that produced the finding.
+	Analyzer string
+	// Message states what is wrong.
+	Message string
+	// Hint states how to fix it.
+	Hint string
+}
+
+// String formats the diagnostic as "file:line:col: analyzer: message [hint]".
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+	if d.Hint != "" {
+		s += " [" + d.Hint + "]"
+	}
+	return s
+}
+
+// Analyzer is one composable check over a type-checked package.
+type Analyzer struct {
+	// Name is the short identifier used in output and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg      *Package
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Report records a finding at pos with a fix hint.
+func (p *Pass) Report(pos token.Pos, message, hint string) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  message,
+		Hint:     hint,
+	})
+}
+
+// Reportf records a finding with a formatted message and a fix hint.
+func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
+	p.Report(pos, fmt.Sprintf(format, args...), hint)
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{UnitsDiscipline, SeededRand, FloatEq, UnkeyedConfig}
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzer string // analyzer name or "all"
+	reason   string
+}
+
+// ignoreSet maps file name and line number to the directives covering it.
+type ignoreSet map[string]map[int][]ignoreDirective
+
+// suppressed reports whether a directive on the diagnostic's line or the
+// line directly above it names the diagnostic's analyzer (or "all").
+func (ig ignoreSet) suppressed(d Diagnostic) bool {
+	lines := ig[d.Pos.Filename]
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, dir := range lines[line] {
+			if dir.analyzer == "all" || dir.analyzer == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnores parses the package's //lint:ignore directives. Malformed
+// directives (missing analyzer name or reason) suppress nothing and are
+// returned separately so the runner can surface them.
+func collectIgnores(pkg *Package, known map[string]bool) (ignoreSet, []Diagnostic) {
+	ig := make(ignoreSet)
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				malformed := len(fields) < 2 || !(fields[0] == "all" || known[fields[0]])
+				if malformed {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("malformed ignore directive %q", c.Text),
+						Hint:     "use //lint:ignore <analyzer|all> <reason>",
+					})
+					continue
+				}
+				if ig[pos.Filename] == nil {
+					ig[pos.Filename] = make(map[int][]ignoreDirective)
+				}
+				ig[pos.Filename][pos.Line] = append(ig[pos.Filename][pos.Line], ignoreDirective{
+					analyzer: fields[0],
+					reason:   strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return ig, bad
+}
+
+// Run applies the analyzers to every package and returns the surviving
+// diagnostics sorted by position. Findings suppressed by a well-formed
+// //lint:ignore directive are dropped; malformed directives are themselves
+// reported.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ig, bad := collectIgnores(pkg, known)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if !ig.suppressed(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// inspect walks every file in the pass's package.
+func inspect(pass *Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// unparen strips any number of enclosing parentheses.
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

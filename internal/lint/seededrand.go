@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand enforces reproducible stochastic blocks: every RNG in
+// simulator code must be an explicit rand.New(rand.NewSource(seed)) with a
+// deterministic seed. The package-level math/rand functions draw from a
+// shared, implicitly seeded global source, which both breaks reproducibility
+// of BER curves and races under parallel sweeps.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid the global math/rand (and math/rand/v2) top-level generator " +
+		"functions and time-derived RNG seeds in non-test simulator code",
+	Run: runSeededRand,
+}
+
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randConstructors are the explicit-source entry points that remain legal.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runSeededRand(pass *Pass) {
+	inspect(pass, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			checkGlobalRand(pass, e)
+		case *ast.CallExpr:
+			checkTimeSeed(pass, e)
+		}
+		return true
+	})
+}
+
+// checkGlobalRand flags any reference (call or function value) to a
+// package-level math/rand function other than the explicit constructors.
+// Methods on *rand.Rand have a receiver and are never flagged.
+func checkGlobalRand(pass *Pass, sel *ast.SelectorExpr) {
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	if randConstructors[fn.Name()] {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"use rand.New(rand.NewSource(seed)) with an explicit seed threaded through the constructor",
+		"global math/rand function rand.%s uses the shared implicitly-seeded source", fn.Name())
+}
+
+// checkTimeSeed flags RNG constructors whose seed derives from time.Now,
+// which makes every run non-reproducible.
+func checkTimeSeed(pass *Pass, call *ast.CallExpr) {
+	fn := pkgFunc(pass, call.Fun)
+	if fn == nil || !randPkgs[fn.Pkg().Path()] || !randConstructors[fn.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			// Nested constructors (rand.New(rand.NewSource(...))) are
+			// visited on their own; skip them so one bad seed reports once.
+			if c, ok := n.(*ast.CallExpr); ok {
+				if f := pkgFunc(pass, c.Fun); f != nil && randPkgs[f.Pkg().Path()] && randConstructors[f.Name()] {
+					return false
+				}
+			}
+			inner, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if isFunc(pass, inner, "time", "Now") {
+				pass.Reportf(call.Pos(),
+					"thread a deterministic seed int64 through the enclosing constructor",
+					"non-deterministic RNG seed: rand.%s derives its seed from time.Now", fn.Name())
+				return false
+			}
+			return true
+		})
+	}
+}

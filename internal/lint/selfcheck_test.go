@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod found above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSuiteCleanOnTree runs the full analyzer suite over the whole module
+// and requires zero findings: the repository itself is the largest fixture,
+// and this is the same gate scripts/check.sh enforces in CI.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	pkgs, err := LoadPackages(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestLoadPackagesSingleDir checks non-recursive pattern resolution.
+func TestLoadPackagesSingleDir(t *testing.T) {
+	root := moduleRoot(t)
+	pkgs, err := LoadPackages(root, []string{"./internal/units"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "wlansim/internal/units" {
+		t.Fatalf("got %+v, want exactly wlansim/internal/units", pkgs)
+	}
+	if len(pkgs[0].Files) == 0 || pkgs[0].TPkg == nil {
+		t.Fatal("package loaded without files or type information")
+	}
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// UnkeyedConfig flags unkeyed composite literals of exported configuration
+// structs (names ending in Config or Params). RF parameter structs grow as
+// impairments are added; a positional literal then silently shifts every
+// later value into the wrong field — a miswired simulator, not a compile
+// error, is the result.
+var UnkeyedConfig = &Analyzer{
+	Name: "unkeyedconfig",
+	Doc: "flag unkeyed composite literals of exported *Config/*Params structs, " +
+		"which change meaning silently when the struct grows",
+	Run: runUnkeyedConfig,
+}
+
+func runUnkeyedConfig(pass *Pass) {
+	inspect(pass, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || len(lit.Elts) == 0 {
+			return true
+		}
+		unkeyed := false
+		for _, elt := range lit.Elts {
+			if _, ok := elt.(*ast.KeyValueExpr); !ok {
+				unkeyed = true
+				break
+			}
+		}
+		if !unkeyed {
+			return true
+		}
+		tv, ok := pass.Pkg.Info.Types[lit]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		named, ok := types.Unalias(tv.Type).(*types.Named)
+		if !ok {
+			return true
+		}
+		obj := named.Obj()
+		name := obj.Name()
+		if !obj.Exported() ||
+			(!strings.HasSuffix(name, "Config") && !strings.HasSuffix(name, "Params")) {
+			return true
+		}
+		if _, ok := named.Underlying().(*types.Struct); !ok {
+			return true
+		}
+		pass.Reportf(lit.Pos(),
+			"write the literal with field names so new fields cannot shift existing values",
+			"unkeyed composite literal of configuration struct %s", name)
+		return true
+	})
+}

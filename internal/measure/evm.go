@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"wlansim/internal/phy"
+	"wlansim/internal/units"
 )
 
 // EVMResult summarizes an error-vector-magnitude measurement over equalized
@@ -25,7 +26,7 @@ func (r EVMResult) DB() float64 {
 	if r.RMS <= 0 {
 		return math.Inf(-1)
 	}
-	return 20 * math.Log10(r.RMS)
+	return units.VoltageGainToDB(r.RMS)
 }
 
 // Percent returns the rms EVM in percent.

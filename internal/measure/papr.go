@@ -2,8 +2,9 @@ package measure
 
 import (
 	"fmt"
-	"math"
 	"sort"
+
+	"wlansim/internal/units"
 )
 
 // PAPR analysis: the complementary cumulative distribution of the OFDM
@@ -38,7 +39,7 @@ func PAPRCCDF(x []complex128, windowLen int) (*Series, error) {
 			}
 		}
 		if peak > 0 {
-			paprs = append(paprs, 10*math.Log10(peak/mean))
+			paprs = append(paprs, units.LinearToDB(peak/mean))
 		}
 	}
 	if len(paprs) == 0 {

@@ -54,6 +54,7 @@ func (s *Series) Max() Point {
 // YAt returns the Y value at the given X (exact match) and whether it exists.
 func (s *Series) YAt(x float64) (float64, bool) {
 	for _, p := range s.Points {
+		//lint:ignore floateq documented exact-match lookup of a previously stored sweep value
 		if p.X == x {
 			return p.Y, true
 		}

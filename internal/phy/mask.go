@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"wlansim/internal/dsp"
+	"wlansim/internal/units"
 )
 
 // SpectrumMask is the clause-17.3.9.2 transmit spectral mask: limits in dBr
@@ -91,7 +92,7 @@ func (m SpectrumMask) CheckMask(x []complex128, sampleRateHz float64) ([]MaskVio
 		if d <= 0 {
 			continue
 		}
-		rel := 10 * math.Log10(d/ref)
+		rel := units.LinearToDB(d / ref)
 		if limit := m.LimitDBr(f); rel > limit+0.01 {
 			out = append(out, MaskViolation{OffsetHz: f, MeasuredDBr: rel, LimitDBr: limit})
 		}

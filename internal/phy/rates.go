@@ -10,7 +10,8 @@ package phy
 
 import (
 	"fmt"
-	"math"
+
+	"wlansim/internal/units"
 )
 
 // Fundamental clause-17 OFDM dimensions.
@@ -196,12 +197,12 @@ func (m Mode) SpectralEfficiency() float64 {
 // SNRFromEbN0 converts an information-bit Eb/N0 (dB) to the equivalent
 // in-band SNR (dB) over the 20 MHz channel: SNR = Eb/N0 + 10 log10(R/B).
 func (m Mode) SNRFromEbN0(ebn0DB float64) float64 {
-	return ebn0DB + 10*math.Log10(m.SpectralEfficiency())
+	return ebn0DB + units.LinearToDB(m.SpectralEfficiency())
 }
 
 // EbN0FromSNR is the inverse of SNRFromEbN0.
 func (m Mode) EbN0FromSNR(snrDB float64) float64 {
-	return snrDB - 10*math.Log10(m.SpectralEfficiency())
+	return snrDB - units.LinearToDB(m.SpectralEfficiency())
 }
 
 // PPDU timing constants (clause 17.4.3).

@@ -128,7 +128,7 @@ func NewAmplifier(cfg AmplifierConfig) (*Amplifier, error) {
 		// compression input amplitude: (1+(r)^4)^(1/4) = 10^(1/20)
 		// -> r = ((10^(4/20)) - 1)^(1/4), Asat = |g*x1dB| / r.
 		x1 := units.DBmToAmplitude(cfg.CompressionDBm)
-		r := math.Pow(math.Pow(10, 4.0/20)-1, 0.25)
+		r := math.Pow(units.DBToVoltageGain(4.0)-1, 0.25)
 		a.aSat = a.g * x1 / r
 	default:
 		return nil, fmt.Errorf("rf: amplifier %q: unknown model %d", cfg.Name, cfg.Model)
@@ -194,7 +194,7 @@ func (a *Amplifier) applyAMPM(y complex128, inAmp float64) complex128 {
 	if out <= 0 || lin <= out {
 		return y
 	}
-	depthDB := 20 * math.Log10(lin/out)
+	depthDB := units.VoltageGainToDB(lin / out)
 	phase := a.cfg.AMPMDegPerDB * depthDB * math.Pi / 180
 	return y * cmplx.Exp(complex(0, phase))
 }

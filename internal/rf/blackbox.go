@@ -225,5 +225,5 @@ func (k *KModel) ResponseDB(freqHz, sampleRateHz float64) float64 {
 	if m <= 0 {
 		return math.Inf(-1)
 	}
-	return 20 * math.Log10(m)
+	return units.VoltageGainToDB(m)
 }

@@ -135,7 +135,7 @@ func NewMixer(cfg MixerConfig) (*Mixer, error) {
 	// I/Q imbalance terms: received r = mu*x + nu*conj(x) with
 	// mu = (1 + a*e^{-j theta})/2, nu = (1 - a*e^{+j theta})/2,
 	// a the linear amplitude mismatch.
-	alpha := math.Pow(10, cfg.IQGainImbalanceDB/20)
+	alpha := units.DBToVoltageGain(cfg.IQGainImbalanceDB)
 	theta := cfg.IQPhaseErrorDeg * math.Pi / 180
 	m.mu = (1 + cmplx.Exp(complex(0, -theta))*complex(alpha, 0)) / 2
 	m.nu = (1 - cmplx.Exp(complex(0, theta))*complex(alpha, 0)) / 2
@@ -161,7 +161,7 @@ func (m *Mixer) ImageRejectionDB() float64 {
 	if n == 0 {
 		return math.Inf(1)
 	}
-	return 20 * math.Log10(cmplx.Abs(m.mu)/n)
+	return units.VoltageGainToDB(cmplx.Abs(m.mu) / n)
 }
 
 // Reset restarts the LO and noise source.

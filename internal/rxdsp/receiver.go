@@ -7,6 +7,7 @@ import (
 
 	"wlansim/internal/dsp"
 	"wlansim/internal/phy"
+	"wlansim/internal/units"
 )
 
 // ChannelEstimate holds the per-subcarrier complex channel gains derived
@@ -241,7 +242,7 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 	}
 	mmseReg := 0.0
 	if r.MMSE {
-		mmseReg = math.Pow(10, -linkSNR/10)
+		mmseReg = units.DBToLinear(-linkSNR)
 	}
 	sigData, _, err := equalizeSymbol(work[sigStart:sigStart+phy.SymbolLen], est, 0, mmseReg)
 	if err != nil {

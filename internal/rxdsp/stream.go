@@ -2,9 +2,9 @@ package rxdsp
 
 import (
 	"fmt"
-	"math"
 
 	"wlansim/internal/phy"
+	"wlansim/internal/units"
 )
 
 // ReceiveAll decodes every packet found in the baseband stream x, resuming
@@ -97,5 +97,5 @@ func EstimationSNR(x []complex128, t1 int) (float64, error) {
 	if snr <= 0 {
 		return -300, nil
 	}
-	return 10 * math.Log10(snr), nil
+	return units.LinearToDB(snr), nil
 }

@@ -1,0 +1,25 @@
+#!/bin/sh
+# check.sh — the repository's full verification gate.
+#
+# Usage: scripts/check.sh
+#
+# Runs, in order: build, go vet, the domain-invariant wlanlint suite
+# (cmd/wlanlint), and the tests under the race detector. Exits non-zero on
+# the first failure. This is the gate every PR must pass.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> wlanlint ./..."
+go run ./cmd/wlanlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK: build, vet, wlanlint and race tests all clean"

@@ -140,6 +140,8 @@ func benchFlags(fs *flag.FlagSet) (*core.Config, *bool) {
 	fs.IntVar(&cfg.Packets, "packets", cfg.Packets, "packets per point")
 	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	fs.Float64Var(&cfg.WantedPowerDBm, "power", cfg.WantedPowerDBm, "wanted power (dBm)")
+	fs.IntVar(&cfg.Workers, "workers", cfg.Workers, "concurrent sweep points (0 = all CPUs, 1 = serial; results are identical)")
+	fs.IntVar(&cfg.TargetErrors, "target-errors", cfg.TargetErrors, "stop each point after this many bit errors (0 = run all packets)")
 	adjacent := fs.Bool("adjacent", false, "add the +16 dB adjacent channel")
 	return &cfg, adjacent
 }
@@ -196,6 +198,8 @@ func cmdFig5(args []string) error {
 	base := core.Figure5Config()
 	base.Packets = cfg.Packets
 	base.Seed = cfg.Seed
+	base.Workers = cfg.Workers
+	base.TargetErrors = cfg.TargetErrors
 	series, err := core.FilterBandwidthSweep(base, sim.Linspace(*lo, *hi, *n))
 	if err != nil {
 		return err
@@ -236,6 +240,8 @@ func cmdFig6(args []string) error {
 	base := core.Figure6Config()
 	base.Packets = cfg.Packets
 	base.Seed = cfg.Seed
+	base.Workers = cfg.Workers
+	base.TargetErrors = cfg.TargetErrors
 	cps := sim.Linspace(*lo, *hi, *n)
 	with, err := core.CompressionPointSweep(base, cps, true)
 	if err != nil {
@@ -263,6 +269,8 @@ func cmdIP3(args []string) error {
 	base := core.Figure6Config()
 	base.Packets = cfg.Packets
 	base.Seed = cfg.Seed
+	base.Workers = cfg.Workers
+	base.TargetErrors = cfg.TargetErrors
 	series, err := core.IP3Sweep(base, sim.Linspace(*lo, *hi, *n), true)
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,8 +14,12 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "concurrent sweep points (0 = all CPUs; results identical for any value)")
+	flag.Parse()
+
 	base := wlansim.Figure5Config()
 	base.Packets = 3
+	base.Workers = *workers
 
 	// First show the spectrum the receiver faces (Figure 4).
 	psd, report, err := wlansim.SpectrumExperiment(base.WantedPowerDBm, false, base.Seed)

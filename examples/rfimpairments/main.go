@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -14,8 +15,12 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "concurrent sweep points (0 = all CPUs; results identical for any value)")
+	flag.Parse()
+
 	base := wlansim.Figure6Config()
 	base.Packets = 3
+	base.Workers = *workers
 
 	cps := []float64{-30, -22, -14, -6}
 	with, err := wlansim.CompressionPointSweep(base, cps, true)

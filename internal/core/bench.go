@@ -17,6 +17,7 @@ import (
 	"wlansim/internal/phy"
 	"wlansim/internal/rf"
 	"wlansim/internal/rxdsp"
+	"wlansim/internal/seed"
 	"wlansim/internal/units"
 )
 
@@ -116,6 +117,16 @@ type Config struct {
 	// DisableCSI disables channel-state weighting of the soft metrics
 	// (ablation).
 	DisableCSI bool
+	// Workers is the number of sweep points the experiment harnesses
+	// evaluate concurrently (0 = all CPUs, 1 = serial). Results are
+	// identical for every value: each point and each packet derives its
+	// seeds from Seed via internal/seed, never from execution order.
+	Workers int
+	// TargetErrors, when > 0, stops a bench run early once the accumulated
+	// bit-error count reaches it (Packets stays the upper bound). Sweep
+	// points record the confidence interval of the bits actually
+	// simulated, so early-stopped points carry visibly wider intervals.
+	TargetErrors int
 }
 
 // DefaultConfig returns a baseline scenario: 24 Mbps, 100-byte packets,
@@ -357,12 +368,16 @@ func (b *Bench) Run() (*Result, error) {
 		return nil, err
 	}
 	tx := &phy.Transmitter{Mode: mode}
-	rng := rand.New(rand.NewSource(b.cfg.Seed))
 	res := &Result{OversampleFactor: os, FrontEnd: b.cfg.FrontEnd}
 	var evmAcc float64
 	var evmSymbols, evmRuns int
 
 	for p := 0; p < b.cfg.Packets; p++ {
+		// Every packet draws from its own derived stream, so trial p is the
+		// same realization no matter how many packets ran before it (the
+		// enabling property for early stopping and, later, intra-point
+		// parallelism).
+		rng := rand.New(rand.NewSource(seed.ForPacket(b.cfg.Seed, p)))
 		tx.ScramblerSeed = byte(1 + rng.Intn(127))
 		psdu := bits.RandomBytes(rng, b.cfg.PSDULen)
 		frame, err := tx.Transmit(psdu)
@@ -390,6 +405,9 @@ func (b *Bench) Run() (*Result, error) {
 		refBits := bits.FromBytes(psdu)
 		if rxErr != nil {
 			res.Counter.AddLostPacket(len(refBits))
+			if b.cfg.TargetErrors > 0 && res.Counter.Errors >= b.cfg.TargetErrors {
+				break
+			}
 			continue
 		}
 		res.Counter.AddPacket(refBits, bits.FromBytes(pkt.PSDU))
@@ -397,6 +415,9 @@ func (b *Bench) Run() (*Result, error) {
 			evmAcc += ev.RMS * ev.RMS * float64(ev.Symbols)
 			evmSymbols += ev.Symbols
 			evmRuns++
+		}
+		if b.cfg.TargetErrors > 0 && res.Counter.Errors >= b.cfg.TargetErrors {
+			break
 		}
 	}
 	if evmSymbols > 0 {

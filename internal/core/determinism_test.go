@@ -1,0 +1,204 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"wlansim/internal/measure"
+)
+
+// This file is the parallel-sweep gate (it supersedes and extends the PR 1
+// TestSweepRaceSmoke): every core sweep must produce a byte-identical
+// measure.Series whether its points run serially or fanned out across
+// goroutines. Under `go test -race` any shared RNG or mutable block state
+// between concurrently running benches additionally trips the race
+// detector. Determinism holds by construction — each point derives its
+// seed from (base.Seed, value) and each packet from (point seed, index) via
+// internal/seed — and this test is the executable proof.
+
+// deepEqualSeries fails the test when two series differ anywhere, including
+// the confidence-interval and sample-count annotations.
+func deepEqualSeries(t *testing.T, name string, serial, parallel *measure.Series) {
+	t.Helper()
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("%s: parallel series differs from serial:\nserial:   %+v\nparallel: %+v",
+			name, serial, parallel)
+	}
+}
+
+func TestFilterBandwidthSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	base := Figure5Config()
+	base.Packets = 1
+	base.PSDULen = 40
+	edges := []float64{6e6, 9.5e6, 14e6}
+
+	base.Workers = 1
+	serial, err := FilterBandwidthSweep(base, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Workers = 8
+	parallel, err := FilterBandwidthSweep(base, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepEqualSeries(t, "FilterBandwidthSweep", serial, parallel)
+}
+
+func TestCompressionPointSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	base := Figure6Config()
+	base.Packets = 1
+	base.PSDULen = 40
+	cps := []float64{-30, -18, -5}
+
+	for _, withAdjacent := range []bool{true, false} {
+		base.Workers = 1
+		serial, err := CompressionPointSweep(base, cps, withAdjacent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base.Workers = 8
+		parallel, err := CompressionPointSweep(base, cps, withAdjacent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		deepEqualSeries(t, serial.Label, serial, parallel)
+	}
+}
+
+func TestIP3SweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	base := Figure6Config()
+	base.Packets = 1
+	base.PSDULen = 40
+
+	base.Workers = 1
+	serial, err := IP3Sweep(base, []float64{-20, -8, 5}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Workers = 8
+	parallel, err := IP3Sweep(base, []float64{-20, -8, 5}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepEqualSeries(t, "IP3Sweep", serial, parallel)
+}
+
+func TestEVMvsSNRDeterministic(t *testing.T) {
+	base := DefaultConfig()
+	base.Packets = 2
+	base.PSDULen = 40
+
+	base.Workers = 1
+	serial, err := EVMvsSNR(base, []float64{10, 18, 26, 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Workers = 8
+	parallel, err := EVMvsSNR(base, []float64{10, 18, 26, 34})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deepEqualSeries(t, "EVMvsSNR", serial, parallel)
+}
+
+func TestWaterfallDeterministic(t *testing.T) {
+	base := DefaultConfig()
+	base.Packets = 1
+	base.PSDULen = 40
+
+	base.Workers = 1
+	serial, err := WaterfallBERvsSNR(base, []int{6, 54}, []float64{5, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Workers = 8
+	parallel, err := WaterfallBERvsSNR(base, []int{6, 54}, []float64{5, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("waterfall figure differs between Workers=1 and Workers=8")
+	}
+}
+
+// TestBenchSeedIndependentOfPacketCount pins the per-packet derivation
+// property that future intra-point parallelism depends on: packet p is the
+// same random realization no matter how many packets the run simulates, so
+// a 2-packet run is a strict prefix of a 4-packet run.
+func TestBenchSeedIndependentOfPacketCount(t *testing.T) {
+	run := func(packets int) *Result {
+		cfg := DefaultConfig()
+		cfg.FrontEnd = FrontEndIdeal
+		cfg.Packets = packets
+		cfg.PSDULen = 40
+		snr := 4.0
+		cfg.RateMbps = 54
+		cfg.ChannelSNRdB = &snr
+		bench, err := NewBench(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := bench.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	two, four := run(2), run(4)
+	if four.Counter.Bits <= two.Counter.Bits {
+		t.Fatalf("bit counts %d vs %d", two.Counter.Bits, four.Counter.Bits)
+	}
+	// The 4-packet run replays packets 0 and 1 bit-exactly, so its error
+	// count over the shared prefix cannot be smaller than the 2-packet
+	// run's total (errors only accumulate).
+	if four.Counter.Errors < two.Counter.Errors {
+		t.Errorf("4-packet run has fewer errors (%d) than its 2-packet prefix (%d): per-packet seeding broken",
+			four.Counter.Errors, two.Counter.Errors)
+	}
+}
+
+// TestTargetErrorsEarlyStop verifies the per-point early-stop contract: the
+// run ends once the error budget is met, simulates no further packets, and
+// the recorded confidence interval reflects the bits actually compared.
+func TestTargetErrorsEarlyStop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FrontEnd = FrontEndIdeal
+	cfg.Packets = 50
+	cfg.PSDULen = 40
+	cfg.RateMbps = 54
+	snr := 2.0 // far below the 54 Mbps threshold: every packet is errorful
+	cfg.ChannelSNRdB = &snr
+	cfg.TargetErrors = 10
+	bench, err := NewBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bench.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counter.Errors < cfg.TargetErrors {
+		t.Fatalf("stopped with %d errors, target %d", res.Counter.Errors, cfg.TargetErrors)
+	}
+	if res.Counter.Packets >= cfg.Packets {
+		t.Errorf("ran all %d packets despite reaching the target after the first", res.Counter.Packets)
+	}
+	lo, hi := res.Counter.ConfidenceInterval95()
+	if !(lo < res.BER() && res.BER() < hi) {
+		t.Errorf("confidence interval [%g, %g] does not bracket BER %g", lo, hi, res.BER())
+	}
+	pt := res.Counter.Point()
+	if pt.Bits != res.Counter.Bits || pt.Errors != res.Counter.Errors {
+		t.Errorf("point annotation %+v does not match counter %+v", pt, res.Counter)
+	}
+}

@@ -11,8 +11,24 @@ import (
 	"wlansim/internal/measure"
 	"wlansim/internal/phy"
 	"wlansim/internal/rf"
+	"wlansim/internal/seed"
 	"wlansim/internal/sim"
 )
+
+// runBERPoint runs one fully configured scenario and packages the measured
+// BER with its confidence interval as a sweep point. It is the shared
+// RunPoint body of the BER sweeps.
+func runBERPoint(cfg Config) (measure.Point, error) {
+	bench, err := NewBench(cfg)
+	if err != nil {
+		return measure.Point{}, err
+	}
+	res, err := bench.Run()
+	if err != nil {
+		return measure.Point{}, err
+	}
+	return res.Counter.Point(), nil
+}
 
 // AdjacentChannelSpec returns the paper's first adjacent channel: +20 MHz,
 // 16 dB above the wanted level (§2.2).
@@ -43,15 +59,18 @@ func Figure5Config() Config {
 
 // FilterBandwidthSweep reproduces Figure 5: it sweeps the channel-select
 // filter passband edge (Hz) and measures the BER. The x axis is reported in
-// units of 1e8 Hz like the paper's plot.
+// units of 1e8 Hz like the paper's plot. Points run on base.Workers
+// goroutines; each point seeds its packets from (base.Seed, edge).
 func FilterBandwidthSweep(base Config, edgesHz []float64) (*measure.Series, error) {
 	sweep := &sim.Sweep{
-		Name:   "BER vs filter bandwidth",
-		XLabel: "passband edge frequency (1.0e8 Hz)",
-		YLabel: "bit error rate",
-		Values: edgesHz,
-		Run: func(edge float64) (float64, error) {
+		Name:    "BER vs filter bandwidth",
+		XLabel:  "passband edge frequency (1.0e8 Hz)",
+		YLabel:  "bit error rate",
+		Values:  edgesHz,
+		Workers: base.Workers,
+		RunPoint: func(edge float64) (measure.Point, error) {
 			cfg := base
+			cfg.Seed = seed.ForPoint(base.Seed, edge)
 			prev := base.TuneRF
 			cfg.TuneRF = func(rc *rf.ReceiverConfig) {
 				if prev != nil {
@@ -59,15 +78,7 @@ func FilterBandwidthSweep(base Config, edgesHz []float64) (*measure.Series, erro
 				}
 				rc.ChannelFilterEdgeHz = edge
 			}
-			bench, err := NewBench(cfg)
-			if err != nil {
-				return 0, err
-			}
-			res, err := bench.Run()
-			if err != nil {
-				return 0, err
-			}
-			return res.BER(), nil
+			return runBERPoint(cfg)
 		},
 	}
 	series, err := sweep.Execute()
@@ -104,12 +115,14 @@ func CompressionPointSweep(base Config, compressionDBm []float64, withAdjacent b
 		label = "adjacent channel"
 	}
 	sweep := &sim.Sweep{
-		Name:   label,
-		XLabel: "compression point of LNA1 (dBm)",
-		YLabel: "bit error rate",
-		Values: compressionDBm,
-		Run: func(cp float64) (float64, error) {
+		Name:    label,
+		XLabel:  "compression point of LNA1 (dBm)",
+		YLabel:  "bit error rate",
+		Values:  compressionDBm,
+		Workers: base.Workers,
+		RunPoint: func(cp float64) (measure.Point, error) {
 			cfg := base
+			cfg.Seed = seed.ForPoint(base.Seed, cp)
 			if withAdjacent {
 				cfg.Interferers = []InterfererSpec{AdjacentChannelSpec(cfg.WantedPowerDBm)}
 			} else {
@@ -124,15 +137,7 @@ func CompressionPointSweep(base Config, compressionDBm []float64, withAdjacent b
 				rc.LNA.UseCompression = true
 				rc.LNA.CompressionDBm = cp
 			}
-			bench, err := NewBench(cfg)
-			if err != nil {
-				return 0, err
-			}
-			res, err := bench.Run()
-			if err != nil {
-				return 0, err
-			}
-			return res.BER(), nil
+			return runBERPoint(cfg)
 		},
 	}
 	return sweep.Execute()
@@ -143,12 +148,14 @@ func CompressionPointSweep(base Config, compressionDBm []float64, withAdjacent b
 func IP3Sweep(base Config, iip3DBm []float64, withAdjacent bool) (*measure.Series, error) {
 	label := "BER vs LNA IIP3"
 	sweep := &sim.Sweep{
-		Name:   label,
-		XLabel: "IIP3 of LNA1 (dBm)",
-		YLabel: "bit error rate",
-		Values: iip3DBm,
-		Run: func(ip3 float64) (float64, error) {
+		Name:    label,
+		XLabel:  "IIP3 of LNA1 (dBm)",
+		YLabel:  "bit error rate",
+		Values:  iip3DBm,
+		Workers: base.Workers,
+		RunPoint: func(ip3 float64) (measure.Point, error) {
 			cfg := base
+			cfg.Seed = seed.ForPoint(base.Seed, ip3)
 			if withAdjacent {
 				cfg.Interferers = []InterfererSpec{AdjacentChannelSpec(cfg.WantedPowerDBm)}
 			}
@@ -161,15 +168,7 @@ func IP3Sweep(base Config, iip3DBm []float64, withAdjacent bool) (*measure.Serie
 				rc.LNA.UseCompression = false
 				rc.LNA.IIP3DBm = ip3
 			}
-			bench, err := NewBench(cfg)
-			if err != nil {
-				return 0, err
-			}
-			res, err := bench.Run()
-			if err != nil {
-				return 0, err
-			}
-			return res.BER(), nil
+			return runBERPoint(cfg)
 		},
 	}
 	return sweep.Execute()
@@ -223,12 +222,14 @@ func SpectrumExperiment(wantedDBm float64, withSecondAdjacent bool, seed int64) 
 // with the ideal receiver model over a sweep of channel SNRs.
 func EVMvsSNR(base Config, snrsDB []float64) (*measure.Series, error) {
 	sweep := &sim.Sweep{
-		Name:   "EVM vs SNR (ideal receiver)",
-		XLabel: "channel SNR (dB)",
-		YLabel: "EVM (%)",
-		Values: snrsDB,
+		Name:    "EVM vs SNR (ideal receiver)",
+		XLabel:  "channel SNR (dB)",
+		YLabel:  "EVM (%)",
+		Values:  snrsDB,
+		Workers: base.Workers,
 		Run: func(snr float64) (float64, error) {
 			cfg := base
+			cfg.Seed = seed.ForPoint(base.Seed, snr)
 			cfg.FrontEnd = FrontEndIdeal
 			cfg.UseIdealRxTiming = true
 			cfg.Interferers = nil
@@ -270,8 +271,20 @@ func (r TimingRow) Ratio() float64 {
 // TimingComparison reproduces Table 2: wall-clock time of the pure
 // system-level simulation versus the analog co-simulation for increasing
 // packet counts.
+//
+// Unlike the BER sweeps, rows run serially by default even when
+// base.Workers is 0, because concurrent rows contend for the CPU and
+// inflate the absolute wall-clock numbers. Setting base.Workers > 1
+// explicitly opts into parallel rows; the fast and co-simulated halves of
+// one row always run back-to-back in the same goroutine under the same
+// load, so the per-row ratio — the paper's 30–40x headline — remains
+// meaningful either way.
 func TimingComparison(base Config, packetCounts []int) ([]TimingRow, error) {
-	rows := make([]TimingRow, 0, len(packetCounts))
+	for _, n := range packetCounts {
+		if n < 1 {
+			return nil, fmt.Errorf("core: packet count %d", n)
+		}
+	}
 	run := func(cfg Config) (float64, error) {
 		bench, err := NewBench(cfg)
 		if err != nil {
@@ -283,25 +296,53 @@ func TimingComparison(base Config, packetCounts []int) ([]TimingRow, error) {
 		}
 		return time.Since(start).Seconds(), nil
 	}
-	for _, n := range packetCounts {
-		if n < 1 {
-			return nil, fmt.Errorf("core: packet count %d", n)
-		}
+	row := func(n int) (TimingRow, error) {
 		fast := base
 		fast.Packets = n
 		fast.FrontEnd = FrontEndBehavioral
 		fastSec, err := run(fast)
 		if err != nil {
-			return nil, err
+			return TimingRow{}, err
 		}
 		cosim := base
 		cosim.Packets = n
 		cosim.FrontEnd = FrontEndCoSim
 		cosimSec, err := run(cosim)
 		if err != nil {
-			return nil, err
+			return TimingRow{}, err
 		}
-		rows = append(rows, TimingRow{Packets: n, FastSeconds: fastSec, CoSimSeconds: cosimSec})
+		return TimingRow{Packets: n, FastSeconds: fastSec, CoSimSeconds: cosimSec}, nil
+	}
+
+	rows := make([]TimingRow, len(packetCounts))
+	if base.Workers <= 1 || len(packetCounts) == 1 {
+		for i, n := range packetCounts {
+			r, err := row(n)
+			if err != nil {
+				return nil, err
+			}
+			rows[i] = r
+		}
+		return rows, nil
+	}
+	// Explicitly requested parallel rows: reuse the sweep executor over the
+	// row indices so pooling and error order match the BER sweeps.
+	sweep := &sim.Sweep{
+		Name:    "timing rows",
+		Values:  sim.Linspace(0, float64(len(packetCounts)-1), len(packetCounts)),
+		Workers: base.Workers,
+		Run: func(idx float64) (float64, error) {
+			i := int(idx)
+			r, err := row(packetCounts[i])
+			if err != nil {
+				return 0, err
+			}
+			rows[i] = r
+			return r.Ratio(), nil
+		},
+	}
+	if _, err := sweep.Execute(); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

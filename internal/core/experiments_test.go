@@ -134,9 +134,12 @@ func TestEVMvsSNRMonotone(t *testing.T) {
 		}
 		prev = p.Y
 	}
-	// At 20 dB SNR the EVM is ~10% (noise-dominated: EVM ~ 10^(-SNR/20)).
-	if y, ok := series.YAt(20); !ok || math.Abs(y-10) > 3 {
-		t.Errorf("EVM at 20 dB = %v%%, want ~10%%", y)
+	// At 20 dB SNR the EVM is noise-dominated plus the channel-estimation
+	// penalty: the estimate from the two LTS symbols adds half the noise
+	// variance to every equalized carrier, so
+	// EVM ~ 10^(-SNR/20) * sqrt(1 + 1/2) = 12.25% at 20 dB.
+	if y, ok := series.YAt(20); !ok || math.Abs(y-12.25) > 1.5 {
+		t.Errorf("EVM at 20 dB = %v%%, want ~12.25%%", y)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"wlansim/internal/measure"
 	"wlansim/internal/phy"
+	"wlansim/internal/seed"
 	"wlansim/internal/sim"
 )
 
@@ -16,7 +17,9 @@ import (
 // InputRangeCheck verifies both corners of the specified range.
 
 // WaterfallBERvsSNR measures BER versus channel SNR for each given rate
-// using the ideal front end (pure PHY performance).
+// using the ideal front end (pure PHY performance). Each curve draws from
+// its own seed stream (derived from base.Seed and the rate) and its points
+// run on base.Workers goroutines.
 func WaterfallBERvsSNR(base Config, ratesMbps []int, snrsDB []float64) (*measure.Figure, error) {
 	fig := &measure.Figure{Title: "BER vs channel SNR (ideal front end)"}
 	for _, rate := range ratesMbps {
@@ -24,27 +27,22 @@ func WaterfallBERvsSNR(base Config, ratesMbps []int, snrsDB []float64) (*measure
 			return nil, err
 		}
 		r := rate
+		rateSeed := seed.ForSeries(base.Seed, uint64(r))
 		sweep := &sim.Sweep{
-			Name:   fmt.Sprintf("%d Mbps", r),
-			XLabel: "channel SNR (dB)",
-			YLabel: "bit error rate",
-			Values: snrsDB,
-			Run: func(snr float64) (float64, error) {
+			Name:    fmt.Sprintf("%d Mbps", r),
+			XLabel:  "channel SNR (dB)",
+			YLabel:  "bit error rate",
+			Values:  snrsDB,
+			Workers: base.Workers,
+			RunPoint: func(snr float64) (measure.Point, error) {
 				cfg := base
+				cfg.Seed = seed.ForPoint(rateSeed, snr)
 				cfg.RateMbps = r
 				cfg.FrontEnd = FrontEndIdeal
 				cfg.Interferers = nil
 				s := snr
 				cfg.ChannelSNRdB = &s
-				bench, err := NewBench(cfg)
-				if err != nil {
-					return 0, err
-				}
-				res, err := bench.Run()
-				if err != nil {
-					return 0, err
-				}
-				return res.BER(), nil
+				return runBERPoint(cfg)
 			},
 		}
 		series, err := sweep.Execute()

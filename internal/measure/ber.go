@@ -95,6 +95,13 @@ func (c *BERCounter) ConfidenceInterval95() (lo, hi float64) {
 	return lo, hi
 }
 
+// Point packages the counter's BER, its 95% confidence interval and the
+// sample counts as one sweep point; the caller sets X.
+func (c *BERCounter) Point() Point {
+	lo, hi := c.ConfidenceInterval95()
+	return Point{Y: c.BER(), CILo: lo, CIHi: hi, Bits: c.Bits, Errors: c.Errors}
+}
+
 // String summarizes the counter.
 func (c *BERCounter) String() string {
 	return fmt.Sprintf("BER %.3g (%d/%d bits), PER %.3g (%d/%d packets, %d lost)",

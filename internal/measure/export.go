@@ -8,7 +8,9 @@ import (
 	"strconv"
 )
 
-// WriteCSV renders the series as two-column CSV with a header row.
+// WriteCSV renders the series as CSV with a header row. Points annotated
+// with confidence intervals (BER sweeps) gain ci95_lo/ci95_hi/bits columns;
+// plain series keep the two-column format.
 func (s *Series) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	x := s.XLabel
@@ -22,14 +24,32 @@ func (s *Series) WriteCSV(w io.Writer) error {
 	if y == "" {
 		y = "y"
 	}
-	if err := cw.Write([]string{x, y}); err != nil {
+	withCI := false
+	for _, p := range s.Points {
+		if p.CIHi > p.CILo || p.Bits > 0 {
+			withCI = true
+			break
+		}
+	}
+	header := []string{x, y}
+	if withCI {
+		header = append(header, "ci95_lo", "ci95_hi", "bits")
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, p := range s.Points {
-		if err := cw.Write([]string{
+		row := []string{
 			strconv.FormatFloat(p.X, 'g', -1, 64),
 			strconv.FormatFloat(p.Y, 'g', -1, 64),
-		}); err != nil {
+		}
+		if withCI {
+			row = append(row,
+				strconv.FormatFloat(p.CILo, 'g', -1, 64),
+				strconv.FormatFloat(p.CIHi, 'g', -1, 64),
+				strconv.Itoa(p.Bits))
+		}
+		if err := cw.Write(row); err != nil {
 			return err
 		}
 	}

@@ -6,10 +6,21 @@ import (
 	"strings"
 )
 
-// Point is one (x, y) sample of a swept measurement.
+// Point is one (x, y) sample of a swept measurement, optionally annotated
+// with the statistical quality of the Y estimate.
 type Point struct {
 	X float64
 	Y float64
+	// CILo and CIHi bound the 95% confidence interval of Y when the sweep
+	// recorded one (BER sweeps do); both stay zero when not measured.
+	CILo float64
+	CIHi float64
+	// Bits and Errors are the underlying Monte-Carlo sample counts behind
+	// Y for error-rate measurements (zero otherwise). They make early
+	// stopping observable: a point that reached its target error count
+	// with fewer bits carries a wider confidence interval.
+	Bits   int
+	Errors int
 }
 
 // Series is a named curve: one line of a figure.
@@ -25,7 +36,12 @@ type Series struct {
 
 // Add appends a point, keeping the series sorted by X.
 func (s *Series) Add(x, y float64) {
-	s.Points = append(s.Points, Point{X: x, Y: y})
+	s.AddPoint(Point{X: x, Y: y})
+}
+
+// AddPoint appends a fully annotated point, keeping the series sorted by X.
+func (s *Series) AddPoint(p Point) {
+	s.Points = append(s.Points, p)
 	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
 }
 

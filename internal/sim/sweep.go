@@ -2,13 +2,20 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"wlansim/internal/measure"
 )
 
 // Sweep is the simulation-manager facility for measuring a metric versus a
 // swept parameter (paper §4.1: "The simulation manager allows to setup
-// parameter sweeps").
+// parameter sweeps"). Points are independent simulations, so the sweep can
+// fan them out across Workers goroutines; results are bit-identical for
+// every worker count because each point must derive its randomness from the
+// swept value (see internal/seed), never from shared mutable state, and
+// points are collected and reported in deterministic order.
 type Sweep struct {
 	// Name labels the resulting series.
 	Name string
@@ -20,28 +27,117 @@ type Sweep struct {
 	// Run builds and executes one simulation at the given parameter value
 	// and returns the measured metric.
 	Run func(value float64) (float64, error)
+	// RunPoint, if set, takes precedence over Run and returns a full
+	// measurement point (metric plus confidence interval and sample
+	// counts). The point's X is overwritten with the swept value.
+	RunPoint func(value float64) (measure.Point, error)
 	// OnPoint, if set, is called after each point (progress reporting).
+	// Under parallel execution it is still invoked in Values order, for
+	// each completed prefix of the sweep.
 	OnPoint func(value, metric float64)
+	// Workers is the number of points evaluated concurrently. Zero or
+	// negative means runtime.GOMAXPROCS(0); 1 runs serially. The resulting
+	// series does not depend on Workers.
+	Workers int
+}
+
+// runner normalizes Run/RunPoint into the point-returning form.
+func (s *Sweep) runner() func(value float64) (measure.Point, error) {
+	if s.RunPoint != nil {
+		return s.RunPoint
+	}
+	if s.Run == nil {
+		return nil
+	}
+	return func(value float64) (measure.Point, error) {
+		y, err := s.Run(value)
+		return measure.Point{Y: y}, err
+	}
 }
 
 // Execute runs the sweep and collects the series.
 func (s *Sweep) Execute() (*measure.Series, error) {
-	if s.Run == nil {
+	run := s.runner()
+	if run == nil {
 		return nil, fmt.Errorf("sim: sweep %q has no Run function", s.Name)
 	}
 	if len(s.Values) == 0 {
 		return nil, fmt.Errorf("sim: sweep %q has no values", s.Name)
 	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.Values) {
+		workers = len(s.Values)
+	}
 	series := &measure.Series{Label: s.Name, XLabel: s.XLabel, YLabel: s.YLabel}
-	for _, v := range s.Values {
-		m, err := s.Run(v)
-		if err != nil {
-			return nil, fmt.Errorf("sim: sweep %q at %g: %w", s.Name, v, err)
+
+	if workers == 1 {
+		for _, v := range s.Values {
+			p, err := run(v)
+			if err != nil {
+				return nil, fmt.Errorf("sim: sweep %q at %g: %w", s.Name, v, err)
+			}
+			p.X = v
+			series.AddPoint(p)
+			if s.OnPoint != nil {
+				s.OnPoint(v, p.Y)
+			}
 		}
-		series.Add(v, m)
-		if s.OnPoint != nil {
-			s.OnPoint(v, m)
+		return series, nil
+	}
+
+	// Worker pool over point indices. Each completed index is announced on
+	// done; the collector advances over the contiguous completed prefix so
+	// AddPoint/OnPoint observe exactly the serial order. Workers never
+	// abort early: every index sends exactly one completion, which keeps
+	// the collector loop bounded and the error (the lowest failing index)
+	// deterministic.
+	pts := make([]measure.Point, len(s.Values))
+	errs := make([]error, len(s.Values))
+	done := make(chan int, len(s.Values))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.Values) {
+					return
+				}
+				p, err := run(s.Values[i])
+				p.X = s.Values[i]
+				pts[i], errs[i] = p, err
+				done <- i
+			}
+		}()
+	}
+
+	completed := make([]bool, len(s.Values))
+	var firstErr error
+	report := 0
+	for n := 0; n < len(s.Values); n++ {
+		completed[<-done] = true
+		for report < len(s.Values) && completed[report] {
+			if firstErr == nil {
+				if err := errs[report]; err != nil {
+					firstErr = fmt.Errorf("sim: sweep %q at %g: %w", s.Name, s.Values[report], err)
+				} else {
+					series.AddPoint(pts[report])
+					if s.OnPoint != nil {
+						s.OnPoint(pts[report].X, pts[report].Y)
+					}
+				}
+			}
+			report++
 		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return series, nil
 }

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"wlansim/internal/measure"
+)
+
+// Basic Run/Values validation lives in TestSweepValidation (graph_test.go);
+// this file covers the parallel executor.
+
+// TestSweepWorkersIdenticalSeries is the package-level determinism gate:
+// the same sweep executed serially and on many workers must produce a
+// byte-identical series, including the statistical annotations.
+func TestSweepWorkersIdenticalSeries(t *testing.T) {
+	values := Linspace(-10, 10, 17)
+	build := func(workers int) *Sweep {
+		return &Sweep{
+			Name:    "parabola",
+			Values:  values,
+			Workers: workers,
+			RunPoint: func(v float64) (measure.Point, error) {
+				y := v * v
+				return measure.Point{Y: y, CILo: y - 1, CIHi: y + 1, Bits: int(v) + 100}, nil
+			},
+		}
+	}
+	ref, err := build(1).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8, 33} {
+		got, err := build(workers).Execute()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("workers=%d series differs from serial run:\n%+v\nvs\n%+v", workers, got, ref)
+		}
+	}
+}
+
+func TestSweepOnPointOrderParallel(t *testing.T) {
+	values := Linspace(0, 9, 10)
+	var order []float64
+	s := &Sweep{
+		Name:    "order",
+		Values:  values,
+		Workers: 8,
+		Run:     func(v float64) (float64, error) { return 2 * v, nil },
+		// OnPoint runs on the collector goroutine only, so appending
+		// without a lock is safe; the assertion is about order.
+		OnPoint: func(v, m float64) { order = append(order, v) },
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, values) {
+		t.Errorf("OnPoint order %v, want %v", order, values)
+	}
+}
+
+func TestSweepErrorDeterministic(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		s := &Sweep{
+			Name:    "failing",
+			Values:  []float64{1, 2, 3, 4, 5, 6, 7, 8},
+			Workers: workers,
+			Run: func(v float64) (float64, error) {
+				if v >= 3 { // several failing points; the lowest must win
+					return 0, fmt.Errorf("%w at %g", sentinel, v)
+				}
+				return v, nil
+			},
+		}
+		_, err := s.Execute()
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: error chain broken: %v", workers, err)
+		}
+		want := `sweep "failing" at 3`
+		if got := err.Error(); !strings.Contains(got, want) {
+			t.Errorf("workers=%d: error %q, want the lowest failing value (%q)", workers, got, want)
+		}
+	}
+}
+
+func TestSweepRunPointSetsX(t *testing.T) {
+	s := &Sweep{
+		Name:   "x",
+		Values: []float64{4, 2}, // unsorted on purpose: series sorts by X
+		RunPoint: func(v float64) (measure.Point, error) {
+			return measure.Point{X: 999, Y: v}, nil // X must be overwritten
+		},
+	}
+	series, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Points[0].X != 2 || series.Points[1].X != 4 {
+		t.Errorf("X values %v", series.Points)
+	}
+}
+
+func TestSweepWorkersClampedToValues(t *testing.T) {
+	var peak atomic.Int64
+	var inflight atomic.Int64
+	s := &Sweep{
+		Name:    "clamp",
+		Values:  []float64{1, 2},
+		Workers: 64,
+		Run: func(v float64) (float64, error) {
+			n := inflight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			inflight.Add(-1)
+			return v, nil
+		},
+	}
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if peak.Load() > 2 {
+		t.Errorf("%d concurrent points for a 2-value sweep", peak.Load())
+	}
+}

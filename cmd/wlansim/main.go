@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	wlansim <command> [flags]
+//	wlansim [-cpuprofile file] [-memprofile file] <command> [flags]
 //
 // Commands:
 //
@@ -31,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"wlansim/internal/core"
 	"wlansim/internal/measure"
@@ -39,11 +41,57 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	global := flag.NewFlagSet("wlansim", flag.ExitOnError)
+	global.Usage = usage
+	cpuProfile := global.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	memProfile := global.String("memprofile", "", "write a heap profile (after a final GC) to this file")
+	_ = global.Parse(os.Args[1:]) // ExitOnError: Parse never returns an error
+	if global.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	cmd, args := global.Arg(0), global.Args()[1:]
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlansim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wlansim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
+
+	err := runCommand(cmd, args)
+
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintln(os.Stderr, "wlansim: wrote CPU profile to", *cpuProfile)
+	}
+	if *memProfile != "" {
+		f, ferr := os.Create(*memProfile)
+		if ferr != nil {
+			fmt.Fprintf(os.Stderr, "wlansim: -memprofile: %v\n", ferr)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize the steady-state live set
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fmt.Fprintf(os.Stderr, "wlansim: -memprofile: %v\n", ferr)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintln(os.Stderr, "wlansim: wrote heap profile to", *memProfile)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlansim %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func runCommand(cmd string, args []string) error {
 	var err error
 	switch cmd {
 	case "table1":
@@ -99,14 +147,11 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "wlansim %s: %v\n", cmd, err)
-		os.Exit(1)
-	}
+	return err
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: wlansim <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: wlansim [-cpuprofile file] [-memprofile file] <command> [flags]
 commands: table1 spectrum ber fig5 fig6 ip3 evm table2 artifact cascade\n          waterfall sensitivity inputrange rfcheck mask graph evmbudget jk acr\n          capture decode regrowth report`)
 }
 

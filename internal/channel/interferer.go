@@ -24,7 +24,9 @@ type Emitter struct {
 }
 
 // Composer mixes a wanted signal and interferers onto a common oversampled
-// baseband grid, reproducing the paper's adjacent-channel test setup.
+// baseband grid, reproducing the paper's adjacent-channel test setup. A
+// Composer carries reusable scratch, so it must not be shared between
+// goroutines.
 type Composer struct {
 	// Oversample is the integer oversampling factor relative to the native
 	// 20 MHz rate. It must be large enough that every emitter's spectrum
@@ -32,6 +34,8 @@ type Composer struct {
 	Oversample int
 	// NativeRateHz is the native baseband rate (20 MHz for 802.11a).
 	NativeRateHz float64
+
+	sig []complex128 // per-emitter scaling scratch
 }
 
 // NewComposer creates a composer with the given oversampling factor over a
@@ -78,6 +82,13 @@ func (c *Composer) flushNative() int {
 // frequency shifted to its carrier offset, and summed. The composite length
 // covers the longest emitter (delay and filter flush included).
 func (c *Composer) Compose(emitters []Emitter) ([]complex128, error) {
+	return c.ComposeInto(nil, emitters)
+}
+
+// ComposeInto is Compose writing the composite into dst (grown if its
+// capacity is short, reused otherwise), the allocation-free form for callers
+// that carry a buffer across packets.
+func (c *Composer) ComposeInto(dst []complex128, emitters []Emitter) ([]complex128, error) {
 	if len(emitters) == 0 {
 		return nil, fmt.Errorf("channel: no emitters")
 	}
@@ -96,16 +107,34 @@ func (c *Composer) Compose(emitters []Emitter) ([]complex128, error) {
 			maxLen = l
 		}
 	}
-	out := make([]complex128, maxLen)
+	if cap(dst) < maxLen {
+		dst = make([]complex128, maxLen)
+	}
+	out := dst[:maxLen]
+	for i := range out {
+		out[i] = 0
+	}
 	for _, e := range emitters {
-		sig := dsp.Clone(e.Samples)
-		units.SetPowerDBm(sig, e.PowerDBm)
-		sig = append(sig, make([]complex128, flush)...)
-		up, err := dsp.NewUpsampler(c.Oversample, 0)
-		if err != nil {
-			return nil, err
+		need := len(e.Samples) + flush
+		if cap(c.sig) < need {
+			c.sig = make([]complex128, 0, need)
 		}
-		hi := up.Process(sig)
+		sig := append(c.sig[:0], e.Samples...)
+		units.SetPowerDBm(sig, e.PowerDBm)
+		c.sig = sig
+		var hi []complex128
+		if c.Oversample == 1 {
+			// Factor-1 upsampling is the identity (and flush is 0), so the
+			// scaled signal is summed directly.
+			hi = sig
+		} else {
+			sig = append(sig, make([]complex128, flush)...)
+			up, err := dsp.NewUpsampler(c.Oversample, 0)
+			if err != nil {
+				return nil, err
+			}
+			hi = up.Process(sig)
+		}
 		if e.OffsetHz != 0 {
 			osc := dsp.NewOscillator(e.OffsetHz/fs, 0)
 			osc.MixInto(hi)

@@ -39,7 +39,7 @@ const (
 	// FrontEndBlackBox is a K-model (Moult/Chen, the paper's ref [6])
 	// extracted from the continuous-time solver and instantiated in the
 	// system simulation: near co-simulation fidelity at system-level speed.
-	// Extraction happens once per Run; like the real flow it captures the
+	// Extraction happens once per Bench; like the real flow it captures the
 	// deterministic behavior only (no noise sources).
 	FrontEndBlackBox
 )
@@ -165,9 +165,21 @@ const leadInSamples = 600
 const tailSamples = 300
 
 // Bench runs measurement scenarios. The zero value is not usable; use
-// NewBench.
+// NewBench. A Bench caches the constructed front end, transmitter, receiver
+// and channel buffers across packets and Run calls (every stateful block is
+// reset per packet, so results are identical to rebuilding them); it must
+// not be shared between goroutines.
 type Bench struct {
 	cfg Config
+
+	fe       rf.FrontEnd
+	tx       *phy.Transmitter
+	rx       *rxdsp.Receiver
+	irx      *rxdsp.IdealReceiver
+	comp     *channel.Composer
+	rng      *rand.Rand
+	emitters []channel.Emitter
+	antenna  []complex128
 }
 
 // NewBench validates the scenario.
@@ -261,8 +273,13 @@ func (b *Bench) buildFrontEnd(os int) (rf.FrontEnd, error) {
 	}
 }
 
+// interfererPSDULen is the fixed payload length of interferer frames.
+const interfererPSDULen = 200
+
 // interfererWaveform produces a continuous stream of back-to-back frames
-// covering at least total native samples.
+// covering at least total native samples. One transmitter is reused for all
+// frames, and the stream is allocated once up front (the frame length is
+// fixed by the rate and the constant payload size).
 func interfererWaveform(rateMbps int, total int, rng *rand.Rand) ([]complex128, error) {
 	if rateMbps == 0 {
 		rateMbps = 24
@@ -271,10 +288,14 @@ func interfererWaveform(rateMbps int, total int, rng *rand.Rand) ([]complex128, 
 	if err != nil {
 		return nil, err
 	}
-	var out []complex128
+	nBits := phy.ServiceBits + interfererPSDULen*8 + phy.TailBits
+	nSym := (nBits + tx.Mode.NDBPS() - 1) / tx.Mode.NDBPS()
+	frameLen := phy.PreambleLen + (1+nSym)*phy.SymbolLen
+	frames := (total + frameLen - 1) / frameLen
+	out := make([]complex128, 0, frames*frameLen)
 	for len(out) < total {
 		tx.ScramblerSeed = byte(1 + rng.Intn(127))
-		frame, err := tx.Transmit(bits.RandomBytes(rng, 200))
+		frame, err := tx.Transmit(bits.RandomBytes(rng, interfererPSDULen))
 		if err != nil {
 			return nil, err
 		}
@@ -286,12 +307,12 @@ func interfererWaveform(rateMbps int, total int, rng *rand.Rand) ([]complex128, 
 // composePacket builds the composite antenna waveform for one wanted frame.
 func (b *Bench) composePacket(frame *phy.Frame, os int, rng *rand.Rand) ([]complex128, error) {
 	totalNative := leadInSamples + len(frame.Samples) + tailSamples
-	emitters := []channel.Emitter{{
+	emitters := append(b.emitters[:0], channel.Emitter{
 		Samples:      frame.Samples,
 		OffsetHz:     0,
 		PowerDBm:     b.cfg.WantedPowerDBm,
 		DelaySamples: leadInSamples,
-	}}
+	})
 	for _, spec := range b.cfg.Interferers {
 		wave, err := interfererWaveform(spec.RateMbps, totalNative, rng)
 		if err != nil {
@@ -303,11 +324,16 @@ func (b *Bench) composePacket(frame *phy.Frame, os int, rng *rand.Rand) ([]compl
 			PowerDBm: spec.PowerDBm,
 		})
 	}
-	comp, err := channel.NewComposer(os)
-	if err != nil {
-		return nil, err
+	b.emitters = emitters
+	if b.comp == nil {
+		comp, err := channel.NewComposer(os)
+		if err != nil {
+			return nil, err
+		}
+		b.comp = comp
 	}
-	x, err := comp.Compose(emitters)
+	comp := b.comp
+	x, err := comp.ComposeInto(b.antenna[:0], emitters)
 	if err != nil {
 		return nil, err
 	}
@@ -315,8 +341,18 @@ func (b *Bench) composePacket(frame *phy.Frame, os int, rng *rand.Rand) ([]compl
 	// longest emitter): the tail absorbs the analog chain's group delay so
 	// the last OFDM symbols are not truncated.
 	if want := totalNative * os; len(x) < want {
-		x = append(x, make([]complex128, want-len(x))...)
+		if cap(x) < want {
+			grown := make([]complex128, len(x), want)
+			copy(grown, x)
+			x = grown
+		}
+		pad := x[len(x):want]
+		for i := range pad {
+			pad[i] = 0
+		}
+		x = x[:want]
 	}
+	b.antenna = x
 
 	fs := comp.CompositeRateHz()
 	if b.cfg.MultipathTaps > 0 {
@@ -359,15 +395,25 @@ func (b *Bench) composePacket(frame *phy.Frame, os int, rng *rand.Rand) ([]compl
 // statistics.
 func (b *Bench) Run() (*Result, error) {
 	os := b.oversample()
-	fe, err := b.buildFrontEnd(os)
-	if err != nil {
-		return nil, err
+	if b.fe == nil {
+		fe, err := b.buildFrontEnd(os)
+		if err != nil {
+			return nil, err
+		}
+		b.fe = fe
 	}
+	fe := b.fe
 	mode, err := phy.ModeByRate(b.cfg.RateMbps)
 	if err != nil {
 		return nil, err
 	}
-	tx := &phy.Transmitter{Mode: mode}
+	if b.tx == nil {
+		b.tx = &phy.Transmitter{Mode: mode}
+	}
+	tx := b.tx
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(0))
+	}
 	res := &Result{OversampleFactor: os, FrontEnd: b.cfg.FrontEnd}
 	var evmAcc float64
 	var evmSymbols, evmRuns int
@@ -376,8 +422,10 @@ func (b *Bench) Run() (*Result, error) {
 		// Every packet draws from its own derived stream, so trial p is the
 		// same realization no matter how many packets ran before it (the
 		// enabling property for early stopping and, later, intra-point
-		// parallelism).
-		rng := rand.New(rand.NewSource(seed.ForPacket(b.cfg.Seed, p)))
+		// parallelism). Re-seeding the cached generator is equivalent to
+		// constructing a fresh one from the same source seed.
+		rng := b.rng
+		rng.Seed(seed.ForPacket(b.cfg.Seed, p))
 		tx.ScramblerSeed = byte(1 + rng.Intn(127))
 		psdu := bits.RandomBytes(rng, b.cfg.PSDULen)
 		frame, err := tx.Transmit(psdu)
@@ -394,13 +442,18 @@ func (b *Bench) Run() (*Result, error) {
 		var pkt *rxdsp.PacketResult
 		var rxErr error
 		if b.cfg.UseIdealRxTiming {
-			ir := &rxdsp.IdealReceiver{Mode: mode, PSDULen: b.cfg.PSDULen}
-			pkt, rxErr = ir.Receive(baseband, leadInSamples)
+			if b.irx == nil {
+				b.irx = &rxdsp.IdealReceiver{Mode: mode, PSDULen: b.cfg.PSDULen}
+			}
+			pkt, rxErr = b.irx.Receive(baseband, leadInSamples)
 		} else {
-			rx := rxdsp.NewReceiver()
-			rx.HardDecisions = b.cfg.HardDecisions
-			rx.DisableCSI = b.cfg.DisableCSI
-			pkt, rxErr = rx.Receive(baseband, 0)
+			if b.rx == nil {
+				b.rx = rxdsp.NewReceiver()
+				b.rx.HardDecisions = b.cfg.HardDecisions
+				b.rx.DisableCSI = b.cfg.DisableCSI
+			}
+			b.rx.Reset()
+			pkt, rxErr = b.rx.Receive(baseband, 0)
 		}
 		refBits := bits.FromBytes(psdu)
 		if rxErr != nil {

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+)
+
+// Canonical perf scenarios for scripts/bench.sh. The ns/op, B/op and
+// allocs/op of these benchmarks are the tracked perf trajectory recorded in
+// BENCH_*.json; treat name changes as a breaking change to that pipeline.
+//
+// Each packet benchmark runs exactly one packet (Packets=1) through the full
+// behavioral chain — transmitter, composite channel, RF front end, DSP
+// receiver — so ns/op reads directly as ns/packet.
+
+func packetBenchConfig(rate int) Config {
+	cfg := DefaultConfig()
+	cfg.RateMbps = rate
+	cfg.Packets = 1
+	cfg.PSDULen = 100
+	cfg.FrontEnd = FrontEndBehavioral
+	return cfg
+}
+
+func runPacketBench(b *testing.B, rate int) {
+	b.Helper()
+	bench, err := NewBench(packetBenchConfig(rate))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Counter.Packets != 1 {
+			b.Fatalf("simulated %d packets, want 1", res.Counter.Packets)
+		}
+	}
+}
+
+func BenchmarkPacketBehavioral6(b *testing.B)  { runPacketBench(b, 6) }
+func BenchmarkPacketBehavioral24(b *testing.B) { runPacketBench(b, 24) }
+func BenchmarkPacketBehavioral54(b *testing.B) { runPacketBench(b, 54) }
+
+// BenchmarkSweepExecutor measures the parallel sweep engine end to end on a
+// cheap ideal-front-end waterfall (3 SNR points, 1 packet each, 4 workers):
+// the per-point dispatch/collect overhead plus the hot packet chain.
+func BenchmarkSweepExecutor(b *testing.B) {
+	base := DefaultConfig()
+	base.FrontEnd = FrontEndIdeal
+	base.Packets = 1
+	base.PSDULen = 100
+	base.Workers = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := WaterfallBERvsSNR(base, []int{24}, []float64{8, 12, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 1 {
+			b.Fatalf("got %d series", len(fig.Series))
+		}
+	}
+}
+
+// BenchmarkPacketIdeal24 isolates the DSP chain (no RF impairment models):
+// transmitter, AWGN, synchronizing receiver, soft Viterbi.
+func BenchmarkPacketIdeal24(b *testing.B) {
+	cfg := packetBenchConfig(24)
+	cfg.FrontEnd = FrontEndIdeal
+	snr := 30.0
+	cfg.ChannelSNRdB = &snr
+	bench, err := NewBench(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.BER() != 0 {
+			b.Fatalf("BER %g at 30 dB", res.BER())
+		}
+	}
+}
+
+// Guard: the benchmark scenarios decode cleanly, so the timed loop measures
+// the success path (a failing sync would silently skip the decode cost).
+func TestPacketBenchScenariosDecode(t *testing.T) {
+	for _, rate := range []int{6, 24, 54} {
+		bench, err := NewBench(packetBenchConfig(rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := bench.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counter.LostPackets != 0 || res.BER() != 0 {
+			t.Errorf("%d Mbps: BER %g, %d lost — benchmark scenario no longer on the success path",
+				rate, res.BER(), res.Counter.LostPackets)
+		}
+	}
+}

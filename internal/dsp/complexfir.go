@@ -9,10 +9,15 @@ import (
 // ComplexFIR is a finite-impulse-response filter with complex coefficients
 // and streaming state — needed to realize asymmetric (non-conjugate-
 // symmetric) frequency responses such as an extracted receiver black-box.
+//
+// Like FIR, Process runs linear block convolution over a carried history
+// prefix and switches to FFT overlap-save for long tap sets; see the FIR
+// docs for the streaming/equivalence contract.
 type ComplexFIR struct {
-	taps  []complex128
-	delay []complex128
-	pos   int
+	taps []complex128
+	hist []complex128 // last len(taps)-1 inputs, oldest first
+	ext  []complex128 // frame scratch: history prefix + inputs
+	ols  *olsConv     // lazily built FFT path for long tap sets
 }
 
 // NewComplexFIR builds a streaming filter from complex taps.
@@ -22,7 +27,7 @@ func NewComplexFIR(taps []complex128) (*ComplexFIR, error) {
 	}
 	t := make([]complex128, len(taps))
 	copy(t, taps)
-	return &ComplexFIR{taps: t, delay: make([]complex128, len(taps))}, nil
+	return &ComplexFIR{taps: t, hist: make([]complex128, len(taps)-1)}, nil
 }
 
 // Taps returns a copy of the coefficients.
@@ -34,36 +39,66 @@ func (f *ComplexFIR) Taps() []complex128 {
 
 // Reset clears the filter state.
 func (f *ComplexFIR) Reset() {
-	for i := range f.delay {
-		f.delay[i] = 0
+	for i := range f.hist {
+		f.hist[i] = 0
 	}
-	f.pos = 0
 }
 
 // ProcessSample filters one sample.
 func (f *ComplexFIR) ProcessSample(x complex128) complex128 {
-	f.delay[f.pos] = x
-	var acc complex128
-	idx := f.pos
-	for _, t := range f.taps {
-		acc += f.delay[idx] * t
-		idx--
-		if idx < 0 {
-			idx = len(f.delay) - 1
-		}
+	acc := x * f.taps[0]
+	p := len(f.hist)
+	for j := 1; j < len(f.taps); j++ {
+		acc += f.hist[p-j] * f.taps[j]
 	}
-	f.pos++
-	if f.pos == len(f.delay) {
-		f.pos = 0
+	if p > 0 {
+		copy(f.hist, f.hist[1:])
+		f.hist[p-1] = x
 	}
 	return acc
 }
 
-// Process filters a frame in place and returns it.
+// Process filters a frame in place and returns it. Steady-state frames of a
+// recurring size allocate nothing.
 func (f *ComplexFIR) Process(x []complex128) []complex128 {
-	for i, v := range x {
-		x[i] = f.ProcessSample(v)
+	if len(x) == 0 {
+		return x
 	}
+	p := len(f.hist)
+	if p == 0 {
+		t0 := f.taps[0]
+		for i, v := range x {
+			x[i] = v * t0
+		}
+		return x
+	}
+	need := p + len(x)
+	if cap(f.ext) < need {
+		f.ext = make([]complex128, need)
+	}
+	ext := f.ext[:need]
+	copy(ext, f.hist)
+	copy(ext[p:], x)
+	if olsUsable(len(f.taps), len(x)) {
+		if f.ols == nil {
+			f.ols = newOLSConv(f.taps)
+		}
+		f.ols.process(x, ext)
+	} else {
+		taps := f.taps
+		last := len(taps) - 1
+		for i := range x {
+			// win[last] is the newest sample; accumulate newest to
+			// oldest (taps[0] first) like the per-sample form.
+			win := ext[i : i+len(taps)]
+			var acc complex128
+			for j, t := range taps {
+				acc += win[last-j] * t
+			}
+			x[i] = acc
+		}
+	}
+	copy(f.hist, ext[len(ext)-p:])
 	return x
 }
 
@@ -71,6 +106,7 @@ func (f *ComplexFIR) Process(x []complex128) []complex128 {
 func (f *ComplexFIR) Response(nu float64) complex128 {
 	var h complex128
 	for n, t := range f.taps {
+		//lint:ignore hotpathexp analysis helper evaluated per frequency point, not per sample
 		h += t * cmplx.Exp(complex(0, -2*math.Pi*nu*float64(n)))
 	}
 	return h

@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // FFTPlan caches the twiddle factors and bit-reversal permutation for a fixed
@@ -31,6 +32,7 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 	p := &FFTPlan{n: n}
 	p.twiddle = make([]complex128, n/2)
 	for k := range p.twiddle {
+		//lint:ignore hotpathexp one-time twiddle table construction at plan creation
 		p.twiddle[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
 	}
 	p.rev = make([]int, n)
@@ -87,10 +89,30 @@ func (p *FFTPlan) transform(x []complex128, inverse bool) {
 	}
 }
 
+// planCache holds one immutable FFTPlan per transform size. Plans are safe
+// for concurrent use once built, so a lost race at worst builds a duplicate
+// that the map discards.
+var planCache sync.Map // int -> *FFTPlan
+
+// PlanFor returns the shared plan for an n-point transform, building and
+// caching it on first use. n must be a power of two. The returned plan is
+// safe for concurrent use and must not be modified.
+func PlanFor(n int) (*FFTPlan, error) {
+	if p, ok := planCache.Load(n); ok {
+		return p.(*FFTPlan), nil
+	}
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*FFTPlan), nil
+}
+
 // FFT returns the forward DFT of x in a new slice. len(x) must be a power of
 // two.
 func FFT(x []complex128) []complex128 {
-	p, err := NewFFTPlan(len(x))
+	p, err := PlanFor(len(x))
 	if err != nil {
 		panic(err)
 	}
@@ -103,7 +125,7 @@ func FFT(x []complex128) []complex128 {
 // IFFT returns the normalized inverse DFT of x in a new slice. len(x) must be
 // a power of two.
 func IFFT(x []complex128) []complex128 {
-	p, err := NewFFTPlan(len(x))
+	p, err := PlanFor(len(x))
 	if err != nil {
 		panic(err)
 	}
@@ -126,15 +148,25 @@ func FFTShift(x []complex128) []complex128 {
 }
 
 // DFT computes the forward DFT directly in O(n^2). It accepts any length and
-// exists mainly as a reference for testing the FFT.
+// exists mainly as a reference for testing the FFT. The phasors
+// exp(-2*pi*i*k*n/N) take only N distinct values, so they are tabulated once
+// (N evaluations) and indexed by k*n mod N — no transcendental calls and no
+// accumulated rotation drift in the O(n^2) loop.
 func DFT(x []complex128) []complex128 {
 	n := len(x)
 	out := make([]complex128, n)
+	if n == 0 {
+		return out
+	}
+	w := make([]complex128, n)
+	for j := range w {
+		//lint:ignore hotpathexp reference-oracle phasor table, N evaluations outside the O(n^2) loop
+		w[j] = cmplx.Exp(complex(0, -2*math.Pi*float64(j)/float64(n)))
+	}
 	for k := 0; k < n; k++ {
 		var sum complex128
 		for i := 0; i < n; i++ {
-			angle := -2 * math.Pi * float64(k) * float64(i) / float64(n)
-			sum += x[i] * cmplx.Exp(complex(0, angle))
+			sum += x[i] * w[k*i%n]
 		}
 		out[k] = sum
 	}

@@ -8,10 +8,19 @@ import (
 // FIR is a finite-impulse-response filter with real coefficients and
 // streaming complex state. The zero value is not usable; construct with
 // NewFIR or one of the design helpers.
+//
+// Process filters whole frames by linear block convolution over a carried
+// history prefix (the last len(taps)-1 inputs), switching to an FFT
+// overlap-save engine for long tap sets; ProcessSample remains the
+// one-sample streaming form. Both produce the same stream a per-sample
+// direct filter would (the FFT path up to transform round-off), and both
+// advance the same history, so frames and single samples can be mixed
+// freely. A FIR must not be shared between goroutines.
 type FIR struct {
-	taps  []float64
-	delay []complex128 // circular buffer of past inputs
-	pos   int
+	taps []float64
+	hist []complex128 // last len(taps)-1 inputs, oldest first
+	ext  []complex128 // frame scratch: history prefix + inputs
+	ols  *olsConv     // lazily built FFT path for long tap sets
 }
 
 // NewFIR builds a streaming filter from the given tap coefficients
@@ -22,7 +31,7 @@ func NewFIR(taps []float64) *FIR {
 	}
 	t := make([]float64, len(taps))
 	copy(t, taps)
-	return &FIR{taps: t, delay: make([]complex128, len(taps))}
+	return &FIR{taps: t, hist: make([]complex128, len(taps)-1)}
 }
 
 // Taps returns a copy of the filter coefficients.
@@ -41,36 +50,68 @@ func (f *FIR) GroupDelay() float64 { return float64(len(f.taps)-1) / 2 }
 
 // Reset clears the filter state.
 func (f *FIR) Reset() {
-	for i := range f.delay {
-		f.delay[i] = 0
+	for i := range f.hist {
+		f.hist[i] = 0
 	}
-	f.pos = 0
 }
 
 // ProcessSample filters one sample, updating the internal state.
 func (f *FIR) ProcessSample(x complex128) complex128 {
-	f.delay[f.pos] = x
-	var acc complex128
-	idx := f.pos
-	for _, t := range f.taps {
-		acc += f.delay[idx] * complex(t, 0)
-		idx--
-		if idx < 0 {
-			idx = len(f.delay) - 1
-		}
+	acc := x * complex(f.taps[0], 0)
+	p := len(f.hist)
+	for j := 1; j < len(f.taps); j++ {
+		acc += f.hist[p-j] * complex(f.taps[j], 0)
 	}
-	f.pos++
-	if f.pos == len(f.delay) {
-		f.pos = 0
+	if p > 0 {
+		copy(f.hist, f.hist[1:])
+		f.hist[p-1] = x
 	}
 	return acc
 }
 
-// Process filters a frame in place and returns it.
+// Process filters a frame in place and returns it. Steady-state frames of a
+// recurring size allocate nothing.
 func (f *FIR) Process(x []complex128) []complex128 {
-	for i, v := range x {
-		x[i] = f.ProcessSample(v)
+	if len(x) == 0 {
+		return x
 	}
+	p := len(f.hist)
+	if p == 0 {
+		t0 := complex(f.taps[0], 0)
+		for i, v := range x {
+			x[i] = v * t0
+		}
+		return x
+	}
+	need := p + len(x)
+	if cap(f.ext) < need {
+		f.ext = make([]complex128, need)
+	}
+	ext := f.ext[:need]
+	copy(ext, f.hist)
+	copy(ext[p:], x)
+	if olsUsable(len(f.taps), len(x)) {
+		if f.ols == nil {
+			f.ols = newOLSConvReal(f.taps)
+		}
+		f.ols.process(x, ext)
+	} else {
+		taps := f.taps
+		last := len(taps) - 1
+		for i := range x {
+			// win[last] is the newest sample; accumulate newest to
+			// oldest (taps[0] first) like the per-sample form.
+			win := ext[i : i+len(taps)]
+			var re, im float64
+			for j, t := range taps {
+				v := win[last-j]
+				re += real(v) * t
+				im += imag(v) * t
+			}
+			x[i] = complex(re, im)
+		}
+	}
+	copy(f.hist, ext[len(ext)-p:])
 	return x
 }
 

@@ -52,18 +52,34 @@ func (u *Upsampler) Reset() {
 // loses a factor of `factor` in amplitude, which the interpolation filter
 // compensates by an equal gain so the waveform amplitude is preserved.
 func (u *Upsampler) Process(x []complex128) []complex128 {
+	return u.ProcessInto(make([]complex128, 0, len(x)*u.factor), x)
+}
+
+// ProcessInto appends the upsampled signal to dst and returns it, reusing
+// dst's capacity — the allocation-free form of Process for callers that
+// carry a buffer across packets.
+func (u *Upsampler) ProcessInto(dst, x []complex128) []complex128 {
 	if u.factor == 1 {
-		out := make([]complex128, len(x))
-		copy(out, x)
-		return out
+		return append(dst, x...)
 	}
-	out := make([]complex128, len(x)*u.factor)
+	base := len(dst)
+	need := base + len(x)*u.factor
+	if cap(dst) < need {
+		grown := make([]complex128, base, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	out := dst[base:]
+	for i := range out {
+		out[i] = 0
+	}
 	g := complex(float64(u.factor), 0)
 	for i, v := range x {
 		out[i*u.factor] = v * g
 	}
 	u.filter.Process(out)
-	return out
+	return dst
 }
 
 // Downsampler reduces the sample rate by an integer factor with an
@@ -72,6 +88,7 @@ type Downsampler struct {
 	factor int
 	filter *FIR
 	phase  int
+	buf    []complex128 // block-filtering scratch, reused across frames
 }
 
 // NewDownsampler builds a decimator for the given integer factor. taps sets
@@ -110,20 +127,36 @@ func (d *Downsampler) Reset() {
 // Process returns the decimated signal. The decimation phase persists across
 // calls so frame boundaries do not disturb the output grid.
 func (d *Downsampler) Process(x []complex128) []complex128 {
-	out := make([]complex128, 0, len(x)/d.factor+1)
-	for _, v := range x {
-		if d.filter != nil {
-			v = d.filter.ProcessSample(v)
+	return d.ProcessInto(make([]complex128, 0, len(x)/d.factor+1), x)
+}
+
+// ProcessInto appends the decimated signal to dst and returns it, reusing
+// dst's capacity. The anti-aliasing filter runs block-wise over the frame
+// (x itself is left untouched), and the decimation phase persists across
+// calls so frame boundaries do not disturb the output grid.
+func (d *Downsampler) ProcessInto(dst, x []complex128) []complex128 {
+	y := x
+	if d.filter != nil {
+		if cap(d.buf) < len(x) {
+			d.buf = make([]complex128, len(x))
 		}
+		y = d.buf[:len(x)]
+		copy(y, x)
+		d.filter.Process(y)
+	}
+	if d.factor == 1 {
+		return append(dst, y...)
+	}
+	for _, v := range y {
 		if d.phase == 0 {
-			out = append(out, v)
+			dst = append(dst, v)
 		}
 		d.phase++
 		if d.phase == d.factor {
 			d.phase = 0
 		}
 	}
-	return out
+	return dst
 }
 
 // Oscillator is a numerically controlled oscillator producing

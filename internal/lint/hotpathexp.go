@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// HotPathExp guards the per-sample hot paths of the signal-processing and RF
+// packages against reintroducing transcendental calls inside loops. The
+// packet chain runs these loops once per sample across millions of swept
+// packets, and a single math.Exp/cmplx.Exp per iteration measurably moves
+// the tracked BENCH_*.json trajectory (the seed code paid ~17% of packet CPU
+// to exactly this pattern). Legitimate uses — one-time table construction,
+// non-per-sample analysis helpers — carry a //lint:ignore hotpathexp
+// directive with the justification.
+var HotPathExp = &Analyzer{
+	Name: "hotpathexp",
+	Doc: "forbid math.Exp/cmplx.Exp (and variants) inside loops in the " +
+		"internal/dsp and internal/rf hot-path packages without an explicit " +
+		"//lint:ignore justification",
+	Run: runHotPathExp,
+}
+
+// hotPathPkgSuffixes are the packages whose loops are presumed per-sample.
+var hotPathPkgSuffixes = []string{"internal/dsp", "internal/rf"}
+
+// expFuncs are the guarded transcendental entry points, keyed by
+// "pkgpath.Name".
+var expFuncs = map[string]bool{
+	"math.Exp":       true,
+	"math.Exp2":      true,
+	"math.Expm1":     true,
+	"math/cmplx.Exp": true,
+}
+
+func isHotPathPackage(path string) bool {
+	for _, suf := range hotPathPkgSuffixes {
+		if path == suf || strings.HasSuffix(path, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotPathExp(pass *Pass) {
+	if !isHotPathPackage(pass.Pkg.Path) {
+		return
+	}
+	// First pass: collect the source spans of every loop body.
+	type span struct{ lo, hi token.Pos }
+	var loops []span
+	inspect(pass, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{s.Body.Pos(), s.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{s.Body.Pos(), s.Body.End()})
+		}
+		return true
+	})
+	if len(loops) == 0 {
+		return
+	}
+	inLoop := func(p token.Pos) bool {
+		for _, l := range loops {
+			if p >= l.lo && p < l.hi {
+				return true
+			}
+		}
+		return false
+	}
+	// Second pass: flag guarded calls whose position falls inside any loop.
+	inspect(pass, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := pkgFunc(pass, call.Fun)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if !expFuncs[fn.Pkg().Path()+"."+fn.Name()] || !inLoop(call.Pos()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"hoist the call out of the loop (incremental rotation, lookup table, or precomputed coefficient), or justify with //lint:ignore hotpathexp <reason>",
+			"transcendental %s.%s inside a loop in hot-path package %s",
+			fn.Pkg().Name(), fn.Name(), pass.Pkg.Path)
+		return true
+	})
+}

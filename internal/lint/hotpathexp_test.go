@@ -1,0 +1,92 @@
+package lint
+
+import "testing"
+
+func TestHotPathExp(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []finding
+	}{
+		{
+			name: "exp in per-sample loop",
+			path: "example.com/m/internal/dsp",
+			src: `package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+func filter(x []float64, z []complex128, tau float64) {
+	for i := range x {
+		x[i] = math.Exp(-x[i] / tau)
+	}
+	for i := range z {
+		z[i] = cmplx.Exp(z[i])
+	}
+}
+`,
+			want: []finding{
+				{10, "math.Exp inside a loop"},
+				{13, "cmplx.Exp inside a loop"},
+			},
+		},
+		{
+			name: "hoisted call is clean",
+			path: "example.com/m/internal/dsp",
+			src: `package dsp
+
+import "math"
+
+func scale(x []float64, tau float64) {
+	g := math.Exp(-1 / tau)
+	for i := range x {
+		x[i] *= g
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "ignored with justification",
+			path: "example.com/m/internal/rf",
+			src: `package rf
+
+import "math"
+
+func table(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		//lint:ignore hotpathexp one-time table construction, not per-sample
+		out[i] = math.Exp(float64(i))
+	}
+	return out
+}
+`,
+			want: nil,
+		},
+		{
+			name: "other packages are exempt",
+			path: "example.com/m/internal/measure",
+			src: `package measure
+
+import "math"
+
+func decay(x []float64) {
+	for i := range x {
+		x[i] = math.Exp(x[i])
+	}
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := analyzeFixture(t, tc.path, tc.src, HotPathExp)
+			checkFindings(t, diags, tc.want)
+		})
+	}
+}

@@ -43,12 +43,15 @@ func (r EVMResult) String() string {
 func EVM(carriers [][]complex128, m phy.Modulation) (EVMResult, error) {
 	var res EVMResult
 	var acc float64
+	var hard []byte
+	var ideal []complex128
+	var err error
 	for _, sym := range carriers {
-		hard, err := phy.DemapHard(sym, m)
+		hard, err = phy.DemapHardAppend(hard[:0], sym, m)
 		if err != nil {
 			return res, err
 		}
-		ideal, err := phy.MapBits(hard, m)
+		ideal, err = phy.MapBitsInto(ideal, hard, m)
 		if err != nil {
 			return res, err
 		}

@@ -1,0 +1,48 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestOFDMDemodAllocFree gates the receive hot path: with warm destination
+// slices, OFDM symbol demodulation plus carrier extraction allocates nothing
+// (the 64-point FFT plan is package-cached).
+func TestOFDMDemodAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sym := make([]complex128, SymbolLen)
+	for i := range sym {
+		sym[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+
+	spec, err := DemodulateSymbol(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := ExtractData(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pilots, err := ExtractPilots(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := testing.AllocsPerRun(20, func() {
+		var derr error
+		spec, derr = DemodulateSymbolInto(spec[:0], sym)
+		if derr != nil {
+			panic("demod failed in alloc gate")
+		}
+		data, derr = ExtractDataInto(data[:0], spec)
+		if derr != nil {
+			panic("extract data failed in alloc gate")
+		}
+		pilots, derr = ExtractPilotsInto(pilots[:0], spec)
+		if derr != nil {
+			panic("extract pilots failed in alloc gate")
+		}
+	}); n != 0 {
+		t.Fatalf("OFDM demod path allocates %v objects per steady-state run, want 0", n)
+	}
+}

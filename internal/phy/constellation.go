@@ -109,6 +109,12 @@ func mapLabel(m Modulation, label int) complex128 {
 // multiple of the modulation's bits per symbol. Bits are consumed first-
 // transmitted-first (the first bit of each group selects the I axis LSB).
 func MapBits(bits []byte, m Modulation) ([]complex128, error) {
+	return MapBitsInto(nil, bits, m)
+}
+
+// MapBitsInto is MapBits writing into dst (grown if its capacity is short,
+// reused otherwise).
+func MapBitsInto(dst []complex128, bits []byte, m Modulation) ([]complex128, error) {
 	n := m.BitsPerSymbol()
 	if n == 0 {
 		return nil, fmt.Errorf("phy: unknown modulation %d", m)
@@ -116,13 +122,18 @@ func MapBits(bits []byte, m Modulation) ([]complex128, error) {
 	if len(bits)%n != 0 {
 		return nil, fmt.Errorf("phy: %d bits not a multiple of %d", len(bits), n)
 	}
-	out := make([]complex128, len(bits)/n)
+	count := len(bits) / n
+	if cap(dst) < count {
+		dst = make([]complex128, count)
+	}
+	out := dst[:count]
+	points := tables[m].points
 	for i := range out {
 		label := 0
 		for j := 0; j < n; j++ {
 			label |= int(bits[i*n+j]&1) << j
 		}
-		out[i] = mapLabel(m, label)
+		out[i] = points[label]
 	}
 	return out, nil
 }
@@ -134,7 +145,17 @@ func DemapHard(symbols []complex128, m Modulation) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("phy: unknown modulation %d", m)
 	}
-	out := make([]byte, 0, len(symbols)*t.nbpsc)
+	return DemapHardAppend(make([]byte, 0, len(symbols)*t.nbpsc), symbols, m)
+}
+
+// DemapHardAppend is DemapHard appending the bits to dst and returning it,
+// reusing dst's capacity.
+func DemapHardAppend(dst []byte, symbols []complex128, m Modulation) ([]byte, error) {
+	t, ok := tables[m]
+	if !ok {
+		return nil, fmt.Errorf("phy: unknown modulation %d", m)
+	}
+	out := dst
 	for _, y := range symbols {
 		best, bestD := 0, math.Inf(1)
 		for i, p := range t.points {
@@ -160,33 +181,52 @@ func DemapSoft(symbols []complex128, m Modulation, csi []float64) ([]float64, er
 	if !ok {
 		return nil, fmt.Errorf("phy: unknown modulation %d", m)
 	}
+	out, err := DemapSoftAppend(make([]float64, 0, len(symbols)*t.nbpsc), symbols, m, csi)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DemapSoftAppend is DemapSoft appending the metrics to dst and returning
+// it, reusing dst's capacity. The point distances are computed once per
+// symbol and shared across its bit positions (the per-bit minima scan the
+// same values in the same order, so the metrics are unchanged).
+func DemapSoftAppend(dst []float64, symbols []complex128, m Modulation, csi []float64) ([]float64, error) {
+	t, ok := tables[m]
+	if !ok {
+		return nil, fmt.Errorf("phy: unknown modulation %d", m)
+	}
 	if csi != nil && len(csi) != len(symbols) {
 		return nil, fmt.Errorf("phy: csi length %d != symbols %d", len(csi), len(symbols))
 	}
-	out := make([]float64, 0, len(symbols)*t.nbpsc)
+	var dist [64]float64 // largest clause-17 constellation
+	d := dist[:len(t.points)]
 	for si, y := range symbols {
 		w := 1.0
 		if csi != nil {
 			w = csi[si]
 		}
+		for i, p := range t.points {
+			d[i] = sqDist(y, p)
+		}
 		for j := 0; j < t.nbpsc; j++ {
 			d0, d1 := math.Inf(1), math.Inf(1)
-			for i, p := range t.points {
-				d := sqDist(y, p)
-				if (t.labels[i]>>j)&1 == 0 {
-					if d < d0 {
-						d0 = d
+			for i, label := range t.labels {
+				if (label>>j)&1 == 0 {
+					if d[i] < d0 {
+						d0 = d[i]
 					}
-				} else if d < d1 {
-					d1 = d
+				} else if d[i] < d1 {
+					d1 = d[i]
 				}
 			}
 			// LLR ~ (d1 - d0): positive when the nearest bit-0 point is
 			// closer than the nearest bit-1 point.
-			out = append(out, w*(d1-d0))
+			dst = append(dst, w*(d1-d0))
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 func sqDist(a, b complex128) float64 {

@@ -28,14 +28,19 @@ func parity7(v int) byte {
 // state; callers append 6 tail bits to data when termination is desired.
 // The output interleaves the two generator outputs: A0 B0 A1 B1 ...
 func ConvolutionalEncode(bits []byte) []byte {
-	out := make([]byte, 0, len(bits)*2)
+	return ConvolutionalEncodeAppend(make([]byte, 0, len(bits)*2), bits)
+}
+
+// ConvolutionalEncodeAppend is ConvolutionalEncode appending the coded bits
+// to dst and returning it, reusing dst's capacity.
+func ConvolutionalEncodeAppend(dst, bits []byte) []byte {
 	state := 0 // the 6 most recent input bits, newest in the MSB of bit 5
 	for _, b := range bits {
 		reg := int(b&1)<<6 | state // newest bit in position 6
-		out = append(out, parity7(reg&GeneratorA), parity7(reg&GeneratorB))
+		dst = append(dst, parity7(reg&GeneratorA), parity7(reg&GeneratorB))
 		state = reg >> 1
 	}
-	return out
+	return dst
 }
 
 // punctureKeep returns the per-position keep mask for a punctured rate over
@@ -58,23 +63,34 @@ func punctureKeep(rate CodeRate) ([]bool, error) {
 // Puncture removes the stolen bits from a rate-1/2 coded stream to realize
 // the requested rate, per clause 17.3.5.6.
 func Puncture(coded []byte, rate CodeRate) ([]byte, error) {
+	return PunctureAppend(make([]byte, 0, len(coded)), coded, rate)
+}
+
+// PunctureAppend is Puncture appending the surviving bits to dst and
+// returning it, reusing dst's capacity.
+func PunctureAppend(dst, coded []byte, rate CodeRate) ([]byte, error) {
 	keep, err := punctureKeep(rate)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, 0, len(coded))
 	for i, b := range coded {
 		if keep[i%len(keep)] {
-			out = append(out, b)
+			dst = append(dst, b)
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Depuncture re-inserts erasures at the stolen-bit positions of a punctured
 // soft-metric stream. Erasure positions are filled with the neutral metric 0.
 // Inputs are LLR-like soft values (positive favors bit 0).
 func Depuncture(punctured []float64, rate CodeRate) ([]float64, error) {
+	return DepunctureAppend(nil, punctured, rate)
+}
+
+// DepunctureAppend is Depuncture appending the expanded metrics to dst and
+// returning it, reusing dst's capacity.
+func DepunctureAppend(dst, punctured []float64, rate CodeRate) ([]float64, error) {
 	keep, err := punctureKeep(rate)
 	if err != nil {
 		return nil, err
@@ -89,19 +105,21 @@ func Depuncture(punctured []float64, rate CodeRate) ([]float64, error) {
 		return nil, fmt.Errorf("phy: punctured length %d not a multiple of %d", len(punctured), kept)
 	}
 	periods := len(punctured) / kept
-	out := make([]float64, 0, periods*len(keep))
+	if dst == nil {
+		dst = make([]float64, 0, periods*len(keep))
+	}
 	idx := 0
 	for p := 0; p < periods; p++ {
 		for _, k := range keep {
 			if k {
-				out = append(out, punctured[idx])
+				dst = append(dst, punctured[idx])
 				idx++
 			} else {
-				out = append(out, 0)
+				dst = append(dst, 0)
 			}
 		}
 	}
-	return out, nil
+	return dst, nil
 }
 
 // CodedLength returns the number of coded bits produced from n data bits at

@@ -47,10 +47,22 @@ func mustPlan() *dsp.FFTPlan {
 // polarity for OFDM symbol index n) into a 64-bin frequency-domain vector in
 // FFT order.
 func AssembleSpectrum(data []complex128, symbolIndex int) ([]complex128, error) {
+	return AssembleSpectrumInto(nil, data, symbolIndex)
+}
+
+// AssembleSpectrumInto is AssembleSpectrum writing into dst (grown if its
+// capacity is short, reused otherwise — unused bins are cleared).
+func AssembleSpectrumInto(dst, data []complex128, symbolIndex int) ([]complex128, error) {
 	if len(data) != NumDataCarriers {
 		return nil, fmt.Errorf("phy: %d data symbols, want %d", len(data), NumDataCarriers)
 	}
-	spec := make([]complex128, FFTSize)
+	if cap(dst) < FFTSize {
+		dst = make([]complex128, FFTSize)
+	}
+	spec := dst[:FFTSize]
+	for i := range spec {
+		spec[i] = 0
+	}
 	for i, c := range DataCarriers {
 		spec[carrierBin(c)] = data[i]
 	}
@@ -70,7 +82,27 @@ func ModulateSymbol(spec []complex128) ([]complex128, error) {
 	if len(spec) != FFTSize {
 		return nil, fmt.Errorf("phy: spectrum length %d, want %d", len(spec), FFTSize)
 	}
-	td := dsp.Clone(spec)
+	return ModulateSymbolAppend(make([]complex128, 0, SymbolLen), spec)
+}
+
+// ModulateSymbolAppend appends the 80-sample OFDM symbol for spec to dst and
+// returns it. The transform runs in place inside dst's grown tail, so a
+// caller reusing the buffer across symbols allocates nothing.
+func ModulateSymbolAppend(dst, spec []complex128) ([]complex128, error) {
+	if len(spec) != FFTSize {
+		return nil, fmt.Errorf("phy: spectrum length %d, want %d", len(spec), FFTSize)
+	}
+	base := len(dst)
+	need := base + SymbolLen
+	if cap(dst) < need {
+		grown := make([]complex128, base, need+need/2)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:need]
+	sym := dst[base:]
+	td := sym[CPLen:]
+	copy(td, spec)
 	ofdmPlan.Inverse(td)
 	// Undo the 1/N of the inverse transform and normalize by the number of
 	// occupied carriers: x = IFFT(X) * N / sqrt(52), so unit-energy carriers
@@ -79,10 +111,8 @@ func ModulateSymbol(spec []complex128) ([]complex128, error) {
 	for i := range td {
 		td[i] *= scale
 	}
-	out := make([]complex128, 0, SymbolLen)
-	out = append(out, td[FFTSize-CPLen:]...)
-	out = append(out, td...)
-	return out, nil
+	copy(sym[:CPLen], td[FFTSize-CPLen:])
+	return dst, nil
 }
 
 const sqrt52 = 7.211102550927978 // sqrt(52)
@@ -91,10 +121,21 @@ const sqrt52 = 7.211102550927978 // sqrt(52)
 // frequency-domain vector (inverse of ModulateSymbol, assuming perfect
 // timing).
 func DemodulateSymbol(sym []complex128) ([]complex128, error) {
+	return DemodulateSymbolInto(nil, sym)
+}
+
+// DemodulateSymbolInto is DemodulateSymbol writing the 64-bin spectrum into
+// dst (grown if its capacity is short, reused otherwise — pass the previous
+// return value to stop allocating).
+func DemodulateSymbolInto(dst, sym []complex128) ([]complex128, error) {
 	if len(sym) != SymbolLen {
 		return nil, fmt.Errorf("phy: symbol length %d, want %d", len(sym), SymbolLen)
 	}
-	td := dsp.Clone(sym[CPLen:])
+	if cap(dst) < FFTSize {
+		dst = make([]complex128, FFTSize)
+	}
+	td := dst[:FFTSize]
+	copy(td, sym[CPLen:])
 	ofdmPlan.Forward(td)
 	scale := complex(sqrt52/float64(FFTSize), 0)
 	for i := range td {
@@ -106,10 +147,19 @@ func DemodulateSymbol(sym []complex128) ([]complex128, error) {
 // ExtractData returns the 48 data-carrier values of a frequency-domain
 // vector in logical order.
 func ExtractData(spec []complex128) ([]complex128, error) {
+	return ExtractDataInto(nil, spec)
+}
+
+// ExtractDataInto is ExtractData writing into dst (grown if its capacity is
+// short, reused otherwise).
+func ExtractDataInto(dst, spec []complex128) ([]complex128, error) {
 	if len(spec) != FFTSize {
 		return nil, fmt.Errorf("phy: spectrum length %d, want %d", len(spec), FFTSize)
 	}
-	out := make([]complex128, NumDataCarriers)
+	if cap(dst) < NumDataCarriers {
+		dst = make([]complex128, NumDataCarriers)
+	}
+	out := dst[:NumDataCarriers]
 	for i, c := range DataCarriers {
 		out[i] = spec[carrierBin(c)]
 	}
@@ -119,10 +169,19 @@ func ExtractData(spec []complex128) ([]complex128, error) {
 // ExtractPilots returns the four pilot-carrier values of a frequency-domain
 // vector, in the order -21, -7, +7, +21.
 func ExtractPilots(spec []complex128) ([]complex128, error) {
+	return ExtractPilotsInto(nil, spec)
+}
+
+// ExtractPilotsInto is ExtractPilots writing into dst (grown if its capacity
+// is short, reused otherwise).
+func ExtractPilotsInto(dst, spec []complex128) ([]complex128, error) {
 	if len(spec) != FFTSize {
 		return nil, fmt.Errorf("phy: spectrum length %d, want %d", len(spec), FFTSize)
 	}
-	out := make([]complex128, NumPilots)
+	if cap(dst) < NumPilots {
+		dst = make([]complex128, NumPilots)
+	}
+	out := dst[:NumPilots]
 	for i, c := range PilotCarriers {
 		out[i] = spec[carrierBin(c)]
 	}

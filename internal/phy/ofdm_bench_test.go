@@ -1,0 +1,59 @@
+package phy
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchSymbol builds one valid 80-sample OFDM DATA symbol.
+func benchSymbol(tb testing.TB) []complex128 {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(11))
+	bits := make([]byte, Modes[0].NCBPS())
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	syms, err := MapBits(bits, BPSK)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	spec, err := AssembleSpectrum(syms, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	td, err := ModulateSymbol(spec)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return td
+}
+
+func BenchmarkDemodulateSymbol(b *testing.B) {
+	sym := benchSymbol(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DemodulateSymbol(sym); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModulateSymbol(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	data := make([]complex128, NumDataCarriers)
+	for i := range data {
+		data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	spec, err := AssembleSpectrum(data, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ModulateSymbol(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"wlansim/internal/bits"
-	"wlansim/internal/phy/viterbi"
 )
 
 // SignalField is the decoded content of the PLCP SIGNAL symbol.
@@ -58,20 +57,29 @@ func EncodeSignal(mode Mode, length int) ([]complex128, error) {
 // DecodeSignal parses the 48 equalized data-carrier values of the SIGNAL
 // symbol. It validates the parity bit and the RATE encoding.
 func DecodeSignal(dataCarriers []complex128) (SignalField, error) {
+	return NewPacketDecoder().DecodeSignal(dataCarriers)
+}
+
+// DecodeSignal is the scratch-reusing form of the package function of the
+// same name.
+func (d *PacketDecoder) DecodeSignal(dataCarriers []complex128) (SignalField, error) {
 	var sf SignalField
-	soft, err := DemapSoft(dataCarriers, BPSK, nil)
+	soft, err := DemapSoftAppend(d.sym[:0], dataCarriers, BPSK, nil)
 	if err != nil {
 		return sf, err
 	}
+	d.sym = soft
 	bpskMode := Modes[0]
-	deint, err := DeinterleaveSoft(soft, bpskMode)
+	deint, err := DeinterleaveSoftInto(d.dep[:0], soft, bpskMode)
 	if err != nil {
 		return sf, err
 	}
-	raw, err := viterbi.New().DecodeSoft(deint)
+	d.dep = deint
+	raw, err := d.vit.DecodeSoftInto(d.decoded, deint)
 	if err != nil {
 		return sf, err
 	}
+	d.decoded = raw
 	if len(raw) != 24 {
 		return sf, fmt.Errorf("phy: SIGNAL decoded to %d bits", len(raw))
 	}

@@ -2,6 +2,7 @@ package phy
 
 import (
 	"fmt"
+	"sync"
 
 	"wlansim/internal/bits"
 	"wlansim/internal/phy/viterbi"
@@ -57,13 +58,43 @@ func DataFieldBits(psdu []byte, mode Mode, seed byte) ([]byte, int) {
 	return stream, nSym
 }
 
-// Transmitter builds clause-17 PPDUs.
+// Transmitter builds clause-17 PPDUs. It carries reusable scratch for the
+// bit pipeline and caches the (constant) preamble and SIGNAL symbol, so a
+// long-lived transmitter allocates only the returned Frame per packet. A
+// Transmitter must not be shared between goroutines.
 type Transmitter struct {
 	// Mode selects the DATA-field rate.
 	Mode Mode
 	// ScramblerSeed is the 7-bit scrambler initializer (0 selects 0x5D, an
 	// arbitrary fixed nonzero default).
 	ScramblerSeed byte
+
+	// Per-packet scratch, grown on demand and retained across Transmit
+	// calls. Frame.Samples is always freshly allocated — frames own their
+	// waveform.
+	stream []byte
+	coded  []byte
+	punct  []byte
+	inter  []byte
+	syms   []complex128
+	spec   []complex128
+
+	// Cached SIGNAL symbol; valid while (sigRate, sigLen) match.
+	sig     []complex128
+	sigRate byte
+	sigLen  int
+}
+
+// preambleCache holds the 320 constant PLCP preamble samples every frame
+// starts with.
+var (
+	preambleOnce  sync.Once
+	preambleCache []complex128
+)
+
+func cachedPreamble() []complex128 {
+	preambleOnce.Do(func() { preambleCache = Preamble() })
+	return preambleCache
 }
 
 // NewTransmitter returns a transmitter for the given rate in Mbps.
@@ -85,44 +116,77 @@ func (t *Transmitter) Transmit(psdu []byte) (*Frame, error) {
 		seed = 0x5D
 	}
 
-	scrambled, nSym := DataFieldBits(psdu, t.Mode, seed)
-	coded := ConvolutionalEncode(scrambled)
-	punct, err := Puncture(coded, t.Mode.CodeRate)
+	// DATA field bit stream (the DataFieldBits logic over reused scratch).
+	nBits := ServiceBits + 8*len(psdu) + TailBits
+	ndbps := t.Mode.NDBPS()
+	nSym := (nBits + ndbps - 1) / ndbps
+	total := nSym * ndbps
+	if cap(t.stream) < total {
+		t.stream = make([]byte, total)
+	}
+	scrambled := t.stream[:total]
+	for i := range scrambled {
+		scrambled[i] = 0
+	}
+	for i, b := range psdu {
+		base := ServiceBits + i*8
+		for j := 0; j < 8; j++ {
+			scrambled[base+j] = (b >> j) & 1
+		}
+	}
+	s := NewScrambler(seed)
+	s.Process(scrambled)
+	// Zero the scrambled tail bits so the encoder terminates.
+	tailStart := ServiceBits + 8*len(psdu)
+	for i := 0; i < TailBits; i++ {
+		scrambled[tailStart+i] = 0
+	}
+
+	t.coded = ConvolutionalEncodeAppend(t.coded[:0], scrambled)
+	punct, err := PunctureAppend(t.punct[:0], t.coded, t.Mode.CodeRate)
 	if err != nil {
 		return nil, err
 	}
+	t.punct = punct
 	ncbps := t.Mode.NCBPS()
 	if len(punct) != nSym*ncbps {
 		return nil, fmt.Errorf("phy: internal error: %d coded bits for %d symbols of %d",
 			len(punct), nSym, ncbps)
 	}
 
-	samples := Preamble()
-	sig, err := EncodeSignal(t.Mode, len(psdu))
-	if err != nil {
-		return nil, err
+	if t.sig == nil || t.sigRate != t.Mode.RateBits || t.sigLen != len(psdu) {
+		sig, err := EncodeSignal(t.Mode, len(psdu))
+		if err != nil {
+			return nil, err
+		}
+		t.sig, t.sigRate, t.sigLen = sig, t.Mode.RateBits, len(psdu)
 	}
-	samples = append(samples, sig...)
+
+	samples := make([]complex128, 0, PreambleLen+(1+nSym)*SymbolLen)
+	samples = append(samples, cachedPreamble()...)
+	samples = append(samples, t.sig...)
 
 	for n := 0; n < nSym; n++ {
 		block := punct[n*ncbps : (n+1)*ncbps]
-		inter, err := Interleave(block, t.Mode)
+		inter, err := InterleaveInto(t.inter, block, t.Mode)
 		if err != nil {
 			return nil, err
 		}
-		syms, err := MapBits(inter, t.Mode.Modulation)
+		t.inter = inter
+		syms, err := MapBitsInto(t.syms, inter, t.Mode.Modulation)
 		if err != nil {
 			return nil, err
 		}
-		spec, err := AssembleSpectrum(syms, n+1) // data symbols use p_1...
+		t.syms = syms
+		spec, err := AssembleSpectrumInto(t.spec, syms, n+1) // data symbols use p_1...
 		if err != nil {
 			return nil, err
 		}
-		td, err := ModulateSymbol(spec)
+		t.spec = spec
+		samples, err = ModulateSymbolAppend(samples, spec)
 		if err != nil {
 			return nil, err
 		}
-		samples = append(samples, td...)
 	}
 
 	return &Frame{
@@ -134,6 +198,25 @@ func (t *Transmitter) Transmit(psdu []byte) (*Frame, error) {
 	}, nil
 }
 
+// PacketDecoder carries the reusable scratch of the bit-level receive
+// chain — per-symbol soft metrics, the depunctured stream and the Viterbi
+// decoder state — so the per-packet decode reaches a near-zero-allocation
+// steady state. The zero value is not usable; construct with
+// NewPacketDecoder. A PacketDecoder must not be shared between goroutines.
+type PacketDecoder struct {
+	sym     []float64 // one symbol's demapped metrics
+	soft    []float64 // deinterleaved stream of the whole DATA field
+	dep     []float64 // depunctured stream
+	hard    []byte    // one symbol's hard decisions
+	decoded []byte    // Viterbi output
+	vit     *viterbi.Decoder
+}
+
+// NewPacketDecoder returns an empty decoder ready for use.
+func NewPacketDecoder() *PacketDecoder {
+	return &PacketDecoder{vit: viterbi.New()}
+}
+
 // DecodeDataCarriers performs the bit-level receive chain on equalized data
 // carriers: soft demapping (optionally CSI-weighted), deinterleaving,
 // depuncturing, Viterbi decoding and descrambling. carriers holds the 48
@@ -141,45 +224,35 @@ func (t *Transmitter) Transmit(psdu []byte) (*Frame, error) {
 // non-nil, holds the matching channel-state weights. It returns the decoded
 // PSDU.
 func DecodeDataCarriers(carriers [][]complex128, csi [][]float64, mode Mode, psduLen int) ([]byte, error) {
+	return NewPacketDecoder().DecodeDataCarriers(carriers, csi, mode, psduLen)
+}
+
+// DecodeDataCarriers is the scratch-reusing form of the package function of
+// the same name.
+func (d *PacketDecoder) DecodeDataCarriers(carriers [][]complex128, csi [][]float64, mode Mode, psduLen int) ([]byte, error) {
 	if psduLen < 1 {
 		return nil, fmt.Errorf("phy: psduLen %d invalid", psduLen)
 	}
-	var soft []float64
+	ncbps := mode.NCBPS()
+	soft := d.growSoft(len(carriers) * ncbps)
 	for n, c := range carriers {
 		var w []float64
 		if csi != nil {
 			w = csi[n]
 		}
-		m, err := DemapSoft(c, mode.Modulation, w)
+		m, err := DemapSoftAppend(d.sym[:0], c, mode.Modulation, w)
 		if err != nil {
 			return nil, err
 		}
-		d, err := DeinterleaveSoft(m, mode)
+		d.sym = m
+		chunk, err := DeinterleaveSoftInto(soft[len(soft):], m, mode)
 		if err != nil {
 			return nil, err
 		}
-		soft = append(soft, d...)
+		soft = soft[:len(soft)+len(chunk)]
 	}
-	dep, err := Depuncture(soft, mode.CodeRate)
-	if err != nil {
-		return nil, err
-	}
-	decoded, err := viterbi.New().DecodeSoft(dep)
-	if err != nil {
-		return nil, err
-	}
-	need := ServiceBits + psduLen*8
-	if len(decoded) < need {
-		return nil, fmt.Errorf("phy: decoded %d bits, need %d", len(decoded), need)
-	}
-	// Descramble. The SERVICE field is transmitted as zeros, so the first 7
-	// descrambler bits reveal the seed; equivalently, synchronize a fresh
-	// scrambler by searching the seed that zeroes the first 7 bits.
-	seed := recoverScramblerSeed(decoded[:7])
-	s := NewScrambler(seed)
-	s.Process(decoded[:need])
-	payload := decoded[ServiceBits:need]
-	return bits.ToBytes(payload)
+	d.soft = soft
+	return d.finish(soft, mode, psduLen)
 }
 
 // DecodeDataCarriersHard is the hard-decision variant of
@@ -188,38 +261,68 @@ func DecodeDataCarriers(carriers [][]complex128, csi [][]float64, mode Mode, psd
 // (an ablation worth ~2 dB of coding gain). csi is accepted for signature
 // compatibility and ignored.
 func DecodeDataCarriersHard(carriers [][]complex128, csi [][]float64, mode Mode, psduLen int) ([]byte, error) {
+	return NewPacketDecoder().DecodeDataCarriersHard(carriers, csi, mode, psduLen)
+}
+
+// DecodeDataCarriersHard is the scratch-reusing form of the package function
+// of the same name.
+func (d *PacketDecoder) DecodeDataCarriersHard(carriers [][]complex128, csi [][]float64, mode Mode, psduLen int) ([]byte, error) {
 	if psduLen < 1 {
 		return nil, fmt.Errorf("phy: psduLen %d invalid", psduLen)
 	}
 	_ = csi
-	var soft []float64
+	ncbps := mode.NCBPS()
+	soft := d.growSoft(len(carriers) * ncbps)
 	for _, c := range carriers {
-		hard, err := DemapHard(c, mode.Modulation)
+		hard, err := DemapHardAppend(d.hard[:0], c, mode.Modulation)
 		if err != nil {
 			return nil, err
 		}
-		m := make([]float64, len(hard))
-		for i, b := range hard {
-			m[i] = float64(1 - 2*int(b))
+		d.hard = hard
+		m := d.sym[:0]
+		for _, b := range hard {
+			m = append(m, float64(1-2*int(b)))
 		}
-		d, err := DeinterleaveSoft(m, mode)
+		d.sym = m
+		chunk, err := DeinterleaveSoftInto(soft[len(soft):], m, mode)
 		if err != nil {
 			return nil, err
 		}
-		soft = append(soft, d...)
+		soft = soft[:len(soft)+len(chunk)]
 	}
-	dep, err := Depuncture(soft, mode.CodeRate)
+	d.soft = soft
+	return d.finish(soft, mode, psduLen)
+}
+
+// growSoft returns the empty soft-metric accumulator with capacity for the
+// whole DATA field, so the per-symbol deinterleaver writes in place.
+func (d *PacketDecoder) growSoft(need int) []float64 {
+	if cap(d.soft) < need {
+		d.soft = make([]float64, 0, need)
+	}
+	return d.soft[:0]
+}
+
+// finish runs depuncturing, Viterbi decoding and descrambling on the
+// accumulated soft stream.
+func (d *PacketDecoder) finish(soft []float64, mode Mode, psduLen int) ([]byte, error) {
+	dep, err := DepunctureAppend(d.dep[:0], soft, mode.CodeRate)
 	if err != nil {
 		return nil, err
 	}
-	decoded, err := viterbi.New().DecodeSoft(dep)
+	d.dep = dep
+	decoded, err := d.vit.DecodeSoftInto(d.decoded, dep)
 	if err != nil {
 		return nil, err
 	}
+	d.decoded = decoded
 	need := ServiceBits + psduLen*8
 	if len(decoded) < need {
 		return nil, fmt.Errorf("phy: decoded %d bits, need %d", len(decoded), need)
 	}
+	// Descramble. The SERVICE field is transmitted as zeros, so the first 7
+	// descrambler bits reveal the seed; equivalently, synchronize a fresh
+	// scrambler by searching the seed that zeroes the first 7 bits.
 	seed := recoverScramblerSeed(decoded[:7])
 	s := NewScrambler(seed)
 	s.Process(decoded[:need])

@@ -1,0 +1,35 @@
+package viterbi
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDecodeSoftIntoAllocFree gates the hot-path contract: once the decoder
+// scratch and the destination slice are warm, DecodeSoftInto allocates
+// nothing.
+func TestDecodeSoftIntoAllocFree(t *testing.T) {
+	const steps = 1024
+	soft := make([]float64, 2*steps)
+	rng := rand.New(rand.NewSource(1))
+	for i := range soft {
+		soft[i] = rng.Float64()*2 - 1
+	}
+
+	d := New()
+	d.Terminated = false // arbitrary metrics need not reach the zero state
+	dst, err := d.DecodeSoftInto(nil, soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := testing.AllocsPerRun(20, func() {
+		out, derr := d.DecodeSoftInto(dst[:0], soft)
+		if derr != nil || len(out) != steps {
+			panic("decode failed in alloc gate")
+		}
+		dst = out
+	}); n != 0 {
+		t.Fatalf("DecodeSoftInto allocates %v objects per steady-state run, want 0", n)
+	}
+}

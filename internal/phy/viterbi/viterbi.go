@@ -16,14 +16,24 @@ const (
 	genB       = 0o171
 )
 
-// branch holds the precomputed encoder outputs for (state, input bit).
-type branch struct {
-	next int
-	outA byte
-	outB byte
-}
+// The add-compare-select loop iterates over *target* states. Target state s
+// has exactly two predecessors p(r) = ((s<<1)|r)&63 for r in {0,1}, and both
+// transitions carry the same input bit s>>5 (the bit shifted into the
+// encoder register). The branch outputs depend only on the 7-bit register
+// value (s>>5)<<6 | p(r), so they collapse into two sign tables indexed by
+// (s<<1)|r: +1 where the encoder emits coded bit 0 (the soft metric counts
+// toward the path), -1 where it emits 1 (it counts against).
+//
+// Multiplying a metric by ±1.0 is exact in IEEE-754 and x+(-y) == x-y, so
+// the branch metrics here are bit-identical to the original
+// "bm += mA / bm -= mA" formulation.
+var signA, signB [2 * numStates]float64
 
-var trellis [numStates][2]branch
+// selA/selB are the sign tables as indices into a per-step {+m, -m} pair,
+// replacing the two ±1.0 multiplies per branch with value selection. Since
+// -1.0*m == -m exactly, the selected values are bit-identical to the
+// multiplied ones.
+var selA, selB [2 * numStates]uint8
 
 func parity7(v int) byte {
 	v &= 0x7F
@@ -34,25 +44,38 @@ func parity7(v int) byte {
 }
 
 func init() {
-	for state := 0; state < numStates; state++ {
-		for b := 0; b < 2; b++ {
-			reg := b<<6 | state
-			trellis[state][b] = branch{
-				next: reg >> 1,
-				outA: parity7(reg & genA),
-				outB: parity7(reg & genB),
-			}
+	for s := 0; s < numStates; s++ {
+		for r := 0; r < 2; r++ {
+			p := ((s << 1) | r) & (numStates - 1)
+			reg := (s>>5)<<6 | p
+			signA[s<<1|r] = 1 - 2*float64(parity7(reg&genA))
+			signB[s<<1|r] = 1 - 2*float64(parity7(reg&genB))
+			selA[s<<1|r] = parity7(reg & genA)
+			selB[s<<1|r] = parity7(reg & genB)
 		}
 	}
 }
 
-// Decoder decodes the clause-17 mother code. The zero value is not usable;
-// create with New.
+// Decoder decodes the clause-17 mother code. It carries reusable scratch
+// (path metrics and bit-packed survivor decisions), so a long-lived decoder
+// reaches a zero-allocation steady state via DecodeSoftInto. The zero value
+// decodes an unterminated trellis; New returns the terminated configuration
+// the 802.11a tail bits imply. A Decoder must not be shared between
+// goroutines.
 type Decoder struct {
 	// Terminated indicates the trellis starts and ends in the zero state
 	// (the transmitter appended tail bits). When false the decoder picks
 	// the best final state.
 	Terminated bool
+
+	// metricA/metricB are the two path-metric banks swapped each step.
+	metricA, metricB [numStates]float64
+	// decisions holds one bit per state per step: bit s of decisions[t]
+	// says which predecessor (r in p = ((s<<1)|r)&63) survived into state
+	// s at step t. Grown on demand, retained across calls.
+	decisions []uint64
+	// soft is scratch for DecodeHard's metric conversion.
+	soft []float64
 }
 
 // New returns a decoder for a terminated (tail-bited-to-zero) trellis.
@@ -63,6 +86,13 @@ func New() *Decoder { return &Decoder{Terminated: true} }
 // coded bit 0, negative favor 1, zero is an erasure (depunctured position).
 // It returns the decoded bits including any tail bits the encoder appended.
 func (d *Decoder) DecodeSoft(soft []float64) ([]byte, error) {
+	return d.DecodeSoftInto(nil, soft)
+}
+
+// DecodeSoftInto is DecodeSoft writing the decoded bits into dst (grown if
+// its capacity is short, reused otherwise). It allocates nothing when dst
+// and the decoder scratch are already large enough.
+func (d *Decoder) DecodeSoftInto(dst []byte, soft []float64) ([]byte, error) {
 	if len(soft)%2 != 0 {
 		return nil, fmt.Errorf("viterbi: soft stream length %d is odd", len(soft))
 	}
@@ -71,49 +101,70 @@ func (d *Decoder) DecodeSoft(soft []float64) ([]byte, error) {
 		return nil, nil
 	}
 
-	metric := make([]float64, numStates)
-	next := make([]float64, numStates)
+	metric, next := &d.metricA, &d.metricB
 	for i := range metric {
 		metric[i] = math.Inf(-1)
 	}
 	metric[0] = 0 // encoder starts in the zero state
 
-	// decisions[t][s] records the input bit of the surviving transition
-	// into state s at step t.
-	decisions := make([][numStates]byte, steps)
-	// pred[t][s] records the predecessor state of the survivor.
-	pred := make([][numStates]int8, steps)
+	if cap(d.decisions) < steps {
+		d.decisions = make([]uint64, steps)
+	}
+	decisions := d.decisions[:steps]
 
 	for t := 0; t < steps; t++ {
 		mA, mB := soft[2*t], soft[2*t+1]
-		for i := range next {
-			next[i] = math.Inf(-1)
-		}
-		for s := 0; s < numStates; s++ {
-			m := metric[s]
-			if math.IsInf(m, -1) {
-				continue
+		// Branch metric values selected by the sign tables: av[0] == +mA,
+		// av[1] == -mA (and likewise for B). Selecting the negated value is
+		// bit-identical to multiplying by -1.0.
+		av := [2]float64{mA, -mA}
+		bv := [2]float64{mB, -mB}
+		var dec uint64
+		for s := 0; s < numStates/2; s++ {
+			// Butterfly: targets s and s+32 share the predecessor
+			// pair p0 = 2s, p0|1, and their branch outputs are exact
+			// complements (both generators include the top register
+			// bit, so flipping the shifted-in bit flips both coded
+			// bits). x-y == x+(-y) in IEEE-754, so the complement
+			// branches below are bit-identical to selecting the
+			// negated table values.
+			//
+			// Per target the two predecessors are visited even edge
+			// first with a strict ">" so ties keep the lower
+			// predecessor — the same survivor the original
+			// ascending-state scan selected. Starting best at -Inf
+			// also reproduces its handling of unreached
+			// predecessors and NaN metrics (never selected).
+			p0 := s << 1
+			m0, m1 := metric[p0], metric[p0|1]
+			a0, b0 := av[selA[p0]&1], bv[selB[p0]&1]
+			a1, b1 := av[selA[p0|1]&1], bv[selB[p0|1]&1]
+
+			c0 := (m0 + a0) + b0
+			c1 := (m1 + a1) + b1
+			best := math.Inf(-1)
+			if c0 > best {
+				best = c0
 			}
-			for b := 0; b < 2; b++ {
-				br := trellis[s][b]
-				bm := m
-				if br.outA == 0 {
-					bm += mA
-				} else {
-					bm -= mA
-				}
-				if br.outB == 0 {
-					bm += mB
-				} else {
-					bm -= mB
-				}
-				if bm > next[br.next] {
-					next[br.next] = bm
-					decisions[t][br.next] = byte(b)
-					pred[t][br.next] = int8(s)
-				}
+			if c1 > best {
+				best = c1
+				dec |= 1 << uint(s)
 			}
+			next[s] = best
+
+			d0 := (m0 - a0) - b0
+			d1 := (m1 - a1) - b1
+			best = math.Inf(-1)
+			if d0 > best {
+				best = d0
+			}
+			if d1 > best {
+				best = d1
+				dec |= 1 << uint(s+numStates/2)
+			}
+			next[s+numStates/2] = best
 		}
+		decisions[t] = dec
 		metric, next = next, metric
 	}
 
@@ -130,12 +181,18 @@ func (d *Decoder) DecodeSoft(soft []float64) ([]byte, error) {
 		return nil, fmt.Errorf("viterbi: zero state unreachable in terminated trellis")
 	}
 
-	// Trace back.
-	out := make([]byte, steps)
+	// Trace back. The decoded bit at step t is the bit shifted into the
+	// register to reach the survivor state, i.e. its top register bit;
+	// the decision bit recovers which predecessor to step back to.
+	if cap(dst) < steps {
+		dst = make([]byte, steps)
+	}
+	out := dst[:steps]
 	state := final
 	for t := steps - 1; t >= 0; t-- {
-		out[t] = decisions[t][state]
-		state = int(pred[t][state])
+		out[t] = byte(state >> 5)
+		r := (decisions[t] >> uint(state)) & 1
+		state = ((state << 1) | int(r)) & (numStates - 1)
 	}
 	return out, nil
 }
@@ -143,7 +200,10 @@ func (d *Decoder) DecodeSoft(soft []float64) ([]byte, error) {
 // DecodeHard decodes hard-decision coded bits (the interleaved A/B stream of
 // the encoder). Bits beyond 1 are rejected.
 func (d *Decoder) DecodeHard(coded []byte) ([]byte, error) {
-	soft := make([]float64, len(coded))
+	if cap(d.soft) < len(coded) {
+		d.soft = make([]float64, len(coded))
+	}
+	soft := d.soft[:len(coded)]
 	for i, b := range coded {
 		switch b {
 		case 0:
@@ -154,5 +214,5 @@ func (d *Decoder) DecodeHard(coded []byte) ([]byte, error) {
 			return nil, fmt.Errorf("viterbi: value %d at index %d is not a bit", b, i)
 		}
 	}
-	return d.DecodeSoft(soft)
+	return d.DecodeSoftInto(nil, soft)
 }

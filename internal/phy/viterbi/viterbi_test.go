@@ -33,18 +33,41 @@ func randomBits(r *rand.Rand, n int) []byte {
 
 func TestTrellisKnownOutputs(t *testing.T) {
 	// From the zero state, input 1 produces outputs A=1, B=1 (both
-	// generators include the current bit).
-	br := trellis[0][1]
-	if br.outA != 1 || br.outB != 1 {
-		t.Errorf("state 0 input 1: outputs %d,%d, want 1,1", br.outA, br.outB)
+	// generators include the current bit) and lands in state 0x20. In the
+	// target-state indexing that is s=0x20 reached from predecessor
+	// p = ((s<<1)|r)&63 = r, so r=0; coded bit 1 maps to sign -1.
+	if got := signA[0x20<<1]; got != -1 {
+		t.Errorf("state 0 input 1: signA = %v, want -1", got)
 	}
-	if br.next != 0x20 {
-		t.Errorf("state 0 input 1: next state %#x, want 0x20", br.next)
+	if got := signB[0x20<<1]; got != -1 {
+		t.Errorf("state 0 input 1: signB = %v, want -1", got)
 	}
-	// Input 0 from state 0 stays at 0 with outputs 0,0.
-	br = trellis[0][0]
-	if br.outA != 0 || br.outB != 0 || br.next != 0 {
-		t.Errorf("state 0 input 0: %+v", br)
+	// Input 0 from state 0 stays at 0 (s=0, r=0) with outputs 0,0.
+	if signA[0] != 1 || signB[0] != 1 {
+		t.Errorf("state 0 input 0: signs %v,%v, want 1,1", signA[0], signB[0])
+	}
+}
+
+// TestSignTablesMatchEncoder cross-checks every branch of the flattened
+// trellis against the reference encoder: running one bit through encode from
+// each register state must reproduce the sign-table outputs and the
+// predecessor/target relation used by the ACS loop and traceback.
+func TestSignTablesMatchEncoder(t *testing.T) {
+	for s := 0; s < numStates; s++ {
+		for r := 0; r < 2; r++ {
+			p := ((s << 1) | r) & (numStates - 1)
+			b := s >> 5 // input bit of every transition into s
+			reg := b<<6 | p
+			if next := reg >> 1; next != s {
+				t.Fatalf("s=%d r=%d: predecessor %d with bit %d lands in %d", s, r, p, b, next)
+			}
+			wantA := 1 - 2*float64(parity7(reg&genA))
+			wantB := 1 - 2*float64(parity7(reg&genB))
+			if signA[s<<1|r] != wantA || signB[s<<1|r] != wantB {
+				t.Fatalf("s=%d r=%d: signs %v,%v, want %v,%v",
+					s, r, signA[s<<1|r], signB[s<<1|r], wantA, wantB)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,123 @@
+// Package randutil accelerates deterministic restarts of math/rand
+// generators. The RF block models restart their fixed-seed noise streams on
+// every packet; math/rand's Seed regenerates a 607-entry lagged-Fibonacci
+// feedback register from scratch (~tens of microseconds), which dominated the
+// per-packet reset cost. A Restarter snapshots the freshly seeded generator
+// state once and restores it by copy, producing the bit-identical stream.
+package randutil
+
+import (
+	"math/rand"
+	"reflect"
+	"unsafe"
+)
+
+// rngLen is math/rand's feedback register length (stable since Go 1).
+const rngLen = 607
+
+// sourceState mirrors math/rand.rngSource. The layout is verified
+// field-by-field against the runtime type before any unsafe access; on
+// mismatch the Restarter falls back to the documented Seed path.
+type sourceState struct {
+	tap  int
+	feed int
+	vec  [rngLen]int64
+}
+
+// Restarter restarts a *rand.Rand to its state right after construction.
+// Restart is bit-identical to rng.Seed(seed) — same source state, same
+// cleared Read remainder — but avoids re-running the seeding procedure when
+// the generator internals match the expected layout. The zero value is not
+// usable; build one with New.
+type Restarter struct {
+	rng  *rand.Rand
+	seed int64
+
+	src   *sourceState // live generator state, nil when layout is unknown
+	saved sourceState  // snapshot taken at New
+}
+
+// New snapshots rng, which must have just been built as
+// rand.New(rand.NewSource(seed)) (or equivalently reset with rng.Seed(seed)).
+// The seed is kept for the fallback path.
+func New(rng *rand.Rand, seed int64) *Restarter {
+	r := &Restarter{rng: rng, seed: seed}
+	if src := sourceStateOf(rng); src != nil {
+		r.src = src
+		r.saved = *src
+	}
+	return r
+}
+
+// Restart rewinds the generator to the snapshot, equivalent to
+// rng.Seed(seed).
+func (r *Restarter) Restart() {
+	if r.src == nil {
+		r.rng.Seed(r.seed)
+		return
+	}
+	*r.src = r.saved
+	// Seed also discards the remainder of the most recent Read call.
+	clearReadState(r.rng)
+}
+
+// fastPath reports whether the snapshot/restore path is active (used by
+// tests to ensure the layout probe matches this Go version).
+func (r *Restarter) fastPath() bool { return r.src != nil }
+
+// sourceStateOf returns a direct view of rng's internal rngSource, or nil if
+// the runtime layout does not match sourceState exactly.
+func sourceStateOf(rng *rand.Rand) *sourceState {
+	if rng == nil {
+		return nil
+	}
+	srcField := reflect.ValueOf(rng).Elem().FieldByName("src")
+	if !srcField.IsValid() || srcField.Kind() != reflect.Interface || srcField.IsNil() {
+		return nil
+	}
+	ptr := srcField.Elem()
+	if ptr.Kind() != reflect.Pointer || ptr.IsNil() {
+		return nil
+	}
+	typ := ptr.Elem().Type()
+	if typ.Name() != "rngSource" || typ.Kind() != reflect.Struct {
+		return nil
+	}
+	want := reflect.TypeOf(sourceState{})
+	if typ.NumField() != want.NumField() || typ.Size() != want.Size() {
+		return nil
+	}
+	for i := 0; i < want.NumField(); i++ {
+		got, exp := typ.Field(i), want.Field(i)
+		if got.Name != exp.Name || got.Type != exp.Type || got.Offset != exp.Offset {
+			return nil
+		}
+	}
+	return (*sourceState)(unsafe.Pointer(ptr.Pointer()))
+}
+
+// readValOffset/readPosOffset locate rand.Rand's Read remainder fields;
+// readStateOK gates the unsafe writes on the expected field types.
+var (
+	readValOffset, readPosOffset uintptr
+	readStateOK                  bool
+)
+
+func init() {
+	typ := reflect.TypeOf(rand.Rand{})
+	fv, okV := typ.FieldByName("readVal")
+	fp, okP := typ.FieldByName("readPos")
+	if okV && okP && fv.Type.Kind() == reflect.Int64 && fp.Type.Kind() == reflect.Int8 {
+		readValOffset, readPosOffset = fv.Offset, fp.Offset
+		readStateOK = true
+	}
+}
+
+func clearReadState(rng *rand.Rand) {
+	if !readStateOK {
+		return
+	}
+	base := unsafe.Pointer(rng)
+	*(*int64)(unsafe.Pointer(uintptr(base) + readValOffset)) = 0
+	*(*int8)(unsafe.Pointer(uintptr(base) + readPosOffset)) = 0
+}

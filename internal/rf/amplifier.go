@@ -17,6 +17,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
+	"wlansim/internal/randutil"
 	"wlansim/internal/units"
 )
 
@@ -93,6 +94,7 @@ type Amplifier struct {
 	aSat  float64 // envelope clamp (Cubic) or Rapp saturation amplitude
 	aCrit float64 // input envelope where the cubic peaks (Cubic only)
 	noise *rand.Rand
+	nrst  *randutil.Restarter
 	nsig  float64 // per-dimension noise sigma at the input
 }
 
@@ -139,6 +141,7 @@ func NewAmplifier(cfg AmplifierConfig) (*Amplifier, error) {
 		np := units.Boltzmann * units.RoomTemperature * cfg.SampleRateHz * (f - 1)
 		a.nsig = math.Sqrt(np / 2)
 		a.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
+		a.nrst = randutil.New(a.noise, cfg.NoiseSeed)
 	}
 	return a, nil
 }
@@ -146,10 +149,12 @@ func NewAmplifier(cfg AmplifierConfig) (*Amplifier, error) {
 // Config returns the amplifier configuration.
 func (a *Amplifier) Config() AmplifierConfig { return a.cfg }
 
-// Reset reseeds the noise source (memoryless otherwise).
+// Reset restarts the noise source (memoryless otherwise). Restoring the
+// generator snapshot restarts the identical noise stream without re-running
+// the seeding procedure.
 func (a *Amplifier) Reset() {
 	if a.noise != nil {
-		a.noise = rand.New(rand.NewSource(a.cfg.NoiseSeed))
+		a.nrst.Restart()
 	}
 }
 

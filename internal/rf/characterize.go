@@ -46,6 +46,7 @@ func (c *Characterizer) tonePower(b Block, bins []int, amps []float64, measureBi
 	for i := range x {
 		for t, bin := range bins {
 			ph := 2 * math.Pi * float64(bin) * float64(i) / float64(n)
+			//lint:ignore hotpathexp offline tone synthesis for block characterization, not the packet path
 			x[i] += complex(amps[t], 0) * cmplx.Exp(complex(0, ph))
 		}
 	}

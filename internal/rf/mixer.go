@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
+	"wlansim/internal/randutil"
 	"wlansim/internal/units"
 )
 
@@ -31,6 +32,7 @@ type LO struct {
 	step  float64
 	sigma float64
 	rng   *rand.Rand
+	rst   *randutil.Restarter
 }
 
 // NewLO builds a local oscillator model.
@@ -47,12 +49,17 @@ func NewLO(cfg LOConfig) (*LO, error) {
 		lo.sigma = math.Sqrt(2 * math.Pi * cfg.LinewidthHz / cfg.SampleRateHz)
 	}
 	lo.rng = rand.New(rand.NewSource(cfg.Seed))
+	lo.rst = randutil.New(lo.rng, cfg.Seed)
 	return lo, nil
 }
 
 // Next returns the LO phasor for the next sample.
 func (l *LO) Next() complex128 {
-	v := cmplx.Exp(complex(0, l.phase))
+	// Equivalent to cmplx.Exp(complex(0, phase)): the real exponent is zero,
+	// so the magnitude factor Exp(0) == 1 exactly and only the rotation
+	// remains (bit-identical, one transcendental call saved per sample).
+	s, c := math.Sincos(l.phase)
+	v := complex(c, s)
 	l.phase += l.step
 	if l.sigma > 0 {
 		l.phase += l.rng.NormFloat64() * l.sigma
@@ -63,10 +70,12 @@ func (l *LO) Next() complex128 {
 	return v
 }
 
-// Reset restarts the phase trajectory.
+// Reset restarts the phase trajectory. Restoring the generator snapshot
+// restarts the identical phase-noise stream without re-running the seeding
+// procedure.
 func (l *LO) Reset() {
 	l.phase = 0
-	l.rng = rand.New(rand.NewSource(l.cfg.Seed))
+	l.rst.Restart()
 }
 
 // MixerConfig parameterizes a complex-baseband mixer model. In the
@@ -109,6 +118,7 @@ type Mixer struct {
 	nu    complex128 // image (conjugate) term
 	dc    complex128
 	noise *rand.Rand
+	nrst  *randutil.Restarter
 	nsig  float64
 }
 
@@ -147,6 +157,7 @@ func NewMixer(cfg MixerConfig) (*Mixer, error) {
 		np := units.Boltzmann * units.RoomTemperature * cfg.SampleRateHz * (f - 1)
 		m.nsig = math.Sqrt(np / 2)
 		m.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
+		m.nrst = randutil.New(m.noise, cfg.NoiseSeed)
 	}
 	return m, nil
 }
@@ -170,7 +181,7 @@ func (m *Mixer) Reset() {
 		m.lo.Reset()
 	}
 	if m.noise != nil {
-		m.noise = rand.New(rand.NewSource(m.cfg.NoiseSeed))
+		m.nrst.Restart()
 	}
 }
 

@@ -108,6 +108,7 @@ type Receiver struct {
 	agc     *AGC
 	adc     *ADC
 	decim   *dsp.Downsampler
+	out     []complex128 // decimator output, reused across packets
 }
 
 // NewReceiver validates the configuration and assembles the front end.
@@ -195,7 +196,8 @@ func (r *Receiver) Cascade() (CascadeResult, error) {
 
 // Process runs the antenna frame through the complete front end and returns
 // the 20 MHz baseband output. The input slice is modified in place up to the
-// decimation stage.
+// decimation stage, and the returned slice is owned by the receiver (reused
+// by the next Process call).
 func (r *Receiver) Process(x []complex128) []complex128 {
 	x = r.lna.Process(x)
 	x = r.mixer1.Process(x)
@@ -208,7 +210,8 @@ func (r *Receiver) Process(x []complex128) []complex128 {
 	}
 	x = r.agc.Process(x)
 	x = r.adc.Process(x)
-	return r.decim.Process(x)
+	r.out = r.decim.ProcessInto(r.out[:0], x)
+	return r.out
 }
 
 // Reset clears all block states.
@@ -247,6 +250,7 @@ func (r *Receiver) BlockNames() []string {
 type IdealFrontEnd struct {
 	oversample int
 	decim      *dsp.Downsampler
+	out        []complex128 // decimator output, reused across packets
 }
 
 // NewIdealFrontEnd builds a distortion-free front end for the given input
@@ -263,7 +267,11 @@ func NewIdealFrontEnd(oversample int) (*IdealFrontEnd, error) {
 }
 
 // Process decimates the composite signal to 20 MHz with ideal filtering.
-func (f *IdealFrontEnd) Process(x []complex128) []complex128 { return f.decim.Process(x) }
+// The returned slice is owned by the front end (reused by the next call).
+func (f *IdealFrontEnd) Process(x []complex128) []complex128 {
+	f.out = f.decim.ProcessInto(f.out[:0], x)
+	return f.out
+}
 
 // Reset clears the decimator state.
 func (f *IdealFrontEnd) Reset() { f.decim.Reset() }

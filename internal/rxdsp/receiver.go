@@ -17,34 +17,66 @@ type ChannelEstimate struct {
 	H []complex128
 }
 
-// EstimateChannel averages the two received long training symbols (64
-// samples each, starting at t1 within x) and divides by the known training
-// spectrum.
-func EstimateChannel(x []complex128, t1 int) (*ChannelEstimate, error) {
+// chanEstimator carries the FFT scratch of the long-training channel
+// estimation so repeated estimates allocate nothing.
+type chanEstimator struct {
+	sum []complex128
+	sym []complex128
+}
+
+// estimateInto computes the channel estimate from the two long training
+// symbols starting at t1 within x, writing the result into est.H (grown on
+// first use, reused afterwards).
+func (ce *chanEstimator) estimateInto(est *ChannelEstimate, x []complex128, t1 int) error {
 	if t1 < 0 || t1+128 > len(x) {
-		return nil, fmt.Errorf("rxdsp: long training symbols out of range")
+		return fmt.Errorf("rxdsp: long training symbols out of range")
 	}
 	ref := phy.LongTrainingSpectrum()
-	plan, err := dsp.NewFFTPlan(phy.FFTSize)
+	plan, err := dsp.PlanFor(phy.FFTSize)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	sum := make([]complex128, phy.FFTSize)
+	if cap(ce.sum) < phy.FFTSize {
+		ce.sum = make([]complex128, phy.FFTSize)
+		ce.sym = make([]complex128, phy.FFTSize)
+	}
+	sum := ce.sum[:phy.FFTSize]
+	for i := range sum {
+		sum[i] = 0
+	}
 	for s := 0; s < 2; s++ {
-		buf := dsp.Clone(x[t1+64*s : t1+64*(s+1)])
+		buf := ce.sym[:phy.FFTSize]
+		copy(buf, x[t1+64*s:t1+64*(s+1)])
 		plan.Forward(buf)
 		for i := range sum {
 			sum[i] += buf[i]
 		}
 	}
-	h := make([]complex128, phy.FFTSize)
+	if cap(est.H) < phy.FFTSize {
+		est.H = make([]complex128, phy.FFTSize)
+	}
+	h := est.H[:phy.FFTSize]
 	scale := complex(sqrt52/float64(phy.FFTSize), 0)
 	for i := range h {
+		h[i] = 0
 		if ref[i] != 0 {
 			h[i] = sum[i] / 2 * scale / ref[i]
 		}
 	}
-	return &ChannelEstimate{H: h}, nil
+	est.H = h
+	return nil
+}
+
+// EstimateChannel averages the two received long training symbols (64
+// samples each, starting at t1 within x) and divides by the known training
+// spectrum.
+func EstimateChannel(x []complex128, t1 int) (*ChannelEstimate, error) {
+	var ce chanEstimator
+	est := &ChannelEstimate{}
+	if err := ce.estimateInto(est, x, t1); err != nil {
+		return nil, err
+	}
+	return est, nil
 }
 
 const sqrt52 = 7.211102550927978
@@ -65,22 +97,33 @@ func (c *ChannelEstimate) MeanGain() float64 {
 	return math.Sqrt(acc / float64(n))
 }
 
-// equalizeSymbol FFTs one 80-sample OFDM symbol (starting at its cyclic
-// prefix), equalizes by the channel estimate, corrects the pilot common
-// phase error for the given symbol index, and returns the 48 equalized data
-// carriers plus their CSI weights (|H|^2). mmseReg is the MMSE
-// regularization term (noise-to-signal power ratio); 0 selects zero-forcing.
-func equalizeSymbol(sym []complex128, est *ChannelEstimate, symbolIndex int, mmseReg float64) ([]complex128, []float64, error) {
-	spec, err := phy.DemodulateSymbol(sym)
+// eqScratch carries the per-symbol demodulation buffers of the one-tap
+// equalizer so each symbol is processed without allocation.
+type eqScratch struct {
+	spec   []complex128
+	pilots []complex128
+	data   []complex128
+}
+
+// equalize FFTs one 80-sample OFDM symbol (starting at its cyclic prefix),
+// equalizes by the channel estimate, corrects the pilot common phase error
+// for the given symbol index, and writes the 48 equalized data carriers into
+// out and their CSI weights (|H|^2) into csi (both of length
+// phy.NumDataCarriers). mmseReg is the MMSE regularization term
+// (noise-to-signal power ratio); 0 selects zero-forcing.
+func (q *eqScratch) equalize(out []complex128, csi []float64, sym []complex128, est *ChannelEstimate, symbolIndex int, mmseReg float64) error {
+	spec, err := phy.DemodulateSymbolInto(q.spec, sym)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
+	q.spec = spec
 	// Pilot-aided common phase error: compare received pilots against
 	// expected pilots through the channel.
-	pilots, err := phy.ExtractPilots(spec)
+	pilots, err := phy.ExtractPilotsInto(q.pilots, spec)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
+	q.pilots = pilots
 	expected := phy.ExpectedPilots(symbolIndex)
 	var acc complex128
 	var refE float64
@@ -97,12 +140,11 @@ func equalizeSymbol(sym []complex128, est *ChannelEstimate, symbolIndex int, mms
 		cpe = acc / complex(refE, 0)
 	}
 
-	data, err := phy.ExtractData(spec)
+	data, err := phy.ExtractDataInto(q.data, spec)
 	if err != nil {
-		return nil, nil, err
+		return err
 	}
-	out := make([]complex128, len(data))
-	csi := make([]float64, len(data))
+	q.data = data
 	for i, c := range phy.DataCarriers {
 		bin := (c + phy.FFTSize) % phy.FFTSize
 		h := est.H[bin] * cpe
@@ -123,7 +165,7 @@ func equalizeSymbol(sym []complex128, est *ChannelEstimate, symbolIndex int, mms
 		}
 		csi[i] = m2
 	}
-	return out, csi, nil
+	return nil
 }
 
 // PacketResult reports a decoded packet and receiver diagnostics.
@@ -148,7 +190,11 @@ type PacketResult struct {
 	EndIndex int
 }
 
-// Receiver is the complete synchronizing 802.11a receiver.
+// Receiver is the complete synchronizing 802.11a receiver. A Receiver
+// carries reusable scratch buffers, so reusing one Receiver across packets
+// reaches a near-zero-allocation steady state. Each PacketResult it returns
+// owns its PSDU and EqualizedCarriers and remains valid across subsequent
+// Receive calls. A Receiver must not be shared between goroutines.
 type Receiver struct {
 	// Detector configures packet detection.
 	Detector *Detector
@@ -167,10 +213,32 @@ type Receiver struct {
 	// mixer's self-mixing DC offset otherwise autocorrelates perfectly at
 	// the short-preamble lag and fakes a detection plateau.
 	DisableDCRemoval bool
+
+	// Reusable scratch; see Reset.
+	notch   *dsp.IIR
+	buf     []complex128
+	work    []complex128
+	ce      chanEstimator
+	est     ChannelEstimate
+	q       eqScratch
+	sigData []complex128
+	sigCSI  []float64
+	csiBack []float64
+	csis    [][]float64
+	dec     *phy.PacketDecoder
 }
 
 // NewReceiver returns a receiver with default settings.
 func NewReceiver() *Receiver { return &Receiver{Detector: NewDetector()} }
+
+// Reset clears the receiver's internal filter state. Receive already starts
+// every packet from a clean state, so Reset is only needed to drop carried
+// state explicitly (e.g. between unrelated signal captures).
+func (r *Receiver) Reset() {
+	if r.notch != nil {
+		r.notch.Reset()
+	}
+}
 
 // dcNotchCutoff is the digital DC-removal corner as a fraction of the
 // sample rate (40 kHz at 20 MHz — far below the first subcarrier).
@@ -189,13 +257,19 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 	if from >= len(x) {
 		return nil, fmt.Errorf("rxdsp: start index %d beyond signal", from)
 	}
-	buf := dsp.Clone(x[from:])
+	r.buf = append(r.buf[:0], x[from:]...)
+	buf := r.buf
 	if !r.DisableDCRemoval {
-		notch, err := dsp.DesignDCBlock(dcNotchCutoff)
-		if err != nil {
-			return nil, err
+		if r.notch == nil {
+			notch, err := dsp.DesignDCBlock(dcNotchCutoff)
+			if err != nil {
+				return nil, err
+			}
+			r.notch = notch
+		} else {
+			r.notch.Reset()
 		}
-		notch.Process(buf)
+		r.notch.Process(buf)
 	}
 	d, err := det.Detect(buf, 0)
 	if err != nil {
@@ -203,7 +277,8 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 	}
 
 	// Correct the coarse CFO from the detection point onward.
-	work := dsp.Clone(buf[d.StartIndex:])
+	r.work = append(r.work[:0], buf[d.StartIndex:]...)
+	work := r.work
 	d.StartIndex += from
 	osc := dsp.NewOscillator(-d.CoarseCFO, 0)
 	osc.MixInto(work)
@@ -226,10 +301,10 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 	osc2 := dsp.NewOscillator(-fine, 0)
 	osc2.MixInto(work)
 
-	est, err := EstimateChannel(work, t1)
-	if err != nil {
+	if err := r.ce.estimateInto(&r.est, work, t1); err != nil {
 		return nil, err
 	}
+	est := &r.est
 	linkSNR, err := EstimationSNR(work, t1)
 	if err != nil {
 		return nil, err
@@ -244,11 +319,17 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 	if r.MMSE {
 		mmseReg = units.DBToLinear(-linkSNR)
 	}
-	sigData, _, err := equalizeSymbol(work[sigStart:sigStart+phy.SymbolLen], est, 0, mmseReg)
-	if err != nil {
+	if r.sigData == nil {
+		r.sigData = make([]complex128, phy.NumDataCarriers)
+		r.sigCSI = make([]float64, phy.NumDataCarriers)
+	}
+	if err := r.q.equalize(r.sigData, r.sigCSI, work[sigStart:sigStart+phy.SymbolLen], est, 0, mmseReg); err != nil {
 		return nil, err
 	}
-	sf, err := phy.DecodeSignal(sigData)
+	if r.dec == nil {
+		r.dec = phy.NewPacketDecoder()
+	}
+	sf, err := r.dec.DecodeSignal(r.sigData)
 	if err != nil {
 		return nil, fmt.Errorf("rxdsp: SIGNAL decode: %w", err)
 	}
@@ -260,27 +341,36 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 		return nil, fmt.Errorf("rxdsp: truncated DATA field (%d symbols announced)", nSym)
 	}
 
+	// The equalized carriers escape into the PacketResult, so their backing
+	// is allocated fresh per packet; the CSI weights stay internal and reuse
+	// the receiver's scratch.
+	carrBack := make([]complex128, nSym*phy.NumDataCarriers)
 	carriers := make([][]complex128, nSym)
-	csis := make([][]float64, nSym)
+	if cap(r.csiBack) < nSym*phy.NumDataCarriers {
+		r.csiBack = make([]float64, nSym*phy.NumDataCarriers)
+	}
+	if cap(r.csis) < nSym {
+		r.csis = make([][]float64, nSym)
+	}
+	csis := r.csis[:nSym]
 	for n := 0; n < nSym; n++ {
+		carriers[n] = carrBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
+		csis[n] = r.csiBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
 		s := dataStart + n*phy.SymbolLen
-		data, csi, err := equalizeSymbol(work[s:s+phy.SymbolLen], est, n+1, mmseReg)
-		if err != nil {
+		if err := r.q.equalize(carriers[n], csis[n], work[s:s+phy.SymbolLen], est, n+1, mmseReg); err != nil {
 			return nil, err
 		}
-		carriers[n] = data
-		csis[n] = csi
 	}
 	var csiArg [][]float64
 	if !r.DisableCSI {
 		csiArg = csis
 	}
-	decode := phy.DecodeDataCarriers
+	var psdu []byte
 	if r.HardDecisions {
-		decode = phy.DecodeDataCarriersHard
-		csiArg = nil
+		psdu, err = r.dec.DecodeDataCarriersHard(carriers, nil, sf.Mode, sf.Length)
+	} else {
+		psdu, err = r.dec.DecodeDataCarriers(carriers, csiArg, sf.Mode, sf.Length)
 	}
-	psdu, err := decode(carriers, csiArg, sf.Mode, sf.Length)
 	if err != nil {
 		return nil, err
 	}
@@ -299,14 +389,23 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 // IdealReceiver decodes a frame with genie knowledge of its exact start
 // index, mode and PSDU length, bypassing detection and synchronization. The
 // paper's EVM measurement (§5.2) used exactly this kind of ideal receiver
-// model.
+// model. Like Receiver, it carries reusable scratch and must not be shared
+// between goroutines; each returned PacketResult owns its buffers.
 type IdealReceiver struct {
 	// Mode and PSDULen describe the expected frame.
 	Mode    phy.Mode
 	PSDULen int
+
+	ce      chanEstimator
+	est     ChannelEstimate
+	q       eqScratch
+	csiBack []float64
+	csis    [][]float64
+	dec     *phy.PacketDecoder
 }
 
 // Receive decodes the frame whose short preamble begins exactly at start.
+// The input signal is only read, never mutated.
 func (r *IdealReceiver) Receive(x []complex128, start int) (*PacketResult, error) {
 	if r.PSDULen < 1 {
 		return nil, fmt.Errorf("rxdsp: ideal receiver needs a PSDU length")
@@ -315,31 +414,42 @@ func (r *IdealReceiver) Receive(x []complex128, start int) (*PacketResult, error
 	if t1 < 0 || t1+128 > len(x) {
 		return nil, fmt.Errorf("rxdsp: frame start out of range")
 	}
-	work := dsp.Clone(x[start:])
+	// The genie chain applies no CFO mixing or notch, so it reads the
+	// signal in place instead of cloning it.
+	work := x[start:]
 	t1 -= start
 
-	est, err := EstimateChannel(work, t1)
-	if err != nil {
+	if err := r.ce.estimateInto(&r.est, work, t1); err != nil {
 		return nil, err
 	}
+	est := &r.est
 	nBits := phy.ServiceBits + r.PSDULen*8 + phy.TailBits
 	nSym := (nBits + r.Mode.NDBPS() - 1) / r.Mode.NDBPS()
 	dataStart := t1 + 128 + phy.SymbolLen
 	if dataStart+nSym*phy.SymbolLen > len(work) {
 		return nil, fmt.Errorf("rxdsp: truncated DATA field")
 	}
+	carrBack := make([]complex128, nSym*phy.NumDataCarriers)
 	carriers := make([][]complex128, nSym)
-	csis := make([][]float64, nSym)
+	if cap(r.csiBack) < nSym*phy.NumDataCarriers {
+		r.csiBack = make([]float64, nSym*phy.NumDataCarriers)
+	}
+	if cap(r.csis) < nSym {
+		r.csis = make([][]float64, nSym)
+	}
+	csis := r.csis[:nSym]
 	for n := 0; n < nSym; n++ {
+		carriers[n] = carrBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
+		csis[n] = r.csiBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
 		s := dataStart + n*phy.SymbolLen
-		data, csi, err := equalizeSymbol(work[s:s+phy.SymbolLen], est, n+1, 0)
-		if err != nil {
+		if err := r.q.equalize(carriers[n], csis[n], work[s:s+phy.SymbolLen], est, n+1, 0); err != nil {
 			return nil, err
 		}
-		carriers[n] = data
-		csis[n] = csi
 	}
-	psdu, err := phy.DecodeDataCarriers(carriers, csis, r.Mode, r.PSDULen)
+	if r.dec == nil {
+		r.dec = phy.NewPacketDecoder()
+	}
+	psdu, err := r.dec.DecodeDataCarriers(carriers, csis, r.Mode, r.PSDULen)
 	if err != nil {
 		return nil, err
 	}

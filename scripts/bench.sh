@@ -1,0 +1,72 @@
+#!/bin/sh
+# bench.sh — canonical benchmark runner for the tracked perf trajectory.
+#
+# Usage: scripts/bench.sh [output.json]
+#
+# Runs the named hot-path benchmark scenarios (behavioral BER packets at
+# 6/24/54 Mbit/s, the parallel sweep executor, and the Viterbi / FIR / FFT /
+# OFDM microbenches) with -benchmem and writes one machine-readable JSON
+# document — BENCH_<issue>.json — holding ns/op, B/op and allocs/op per
+# scenario. Each perf PR checks in its BENCH_*.json so regressions against
+# the trajectory are diffable.
+#
+# Environment:
+#   BENCH_COUNT  go test -benchtime value (default 50x; raise for stability)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_3.json}"
+benchtime="${BENCH_COUNT:-50x}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+run_bench() {
+    pkg="$1"
+    pattern="$2"
+    echo "==> go test -bench '$pattern' $pkg" >&2
+    go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem -count 1 "$pkg" >> "$raw"
+}
+
+run_bench ./internal/core         'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkPacketIdeal24'
+run_bench ./internal/phy/viterbi  'BenchmarkDecodeSoft'
+run_bench ./internal/dsp          'BenchmarkFIRProcess|BenchmarkComplexFIRProcess|BenchmarkFFT|BenchmarkDFT'
+run_bench ./internal/phy          'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol'
+
+awk -v out_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^pkg:/ { pkg = $2 }
+/^Benchmark/ {
+    name = $1
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($i == "ns/op")     ns = $(i - 1)
+        if ($i == "B/op")      bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    if (n++) printf ",\n"
+    printf "    {\"package\": \"%s\", \"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", pkg, name, ns, bytes, allocs
+}
+END {
+    printf "\n  ],\n"
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"date\": \"%s\"\n}\n", out_date
+}
+BEGIN {
+    printf "{\n  \"issue\": 3,\n"
+    # Pre-PR baseline for the acceptance scenario, measured at commit
+    # da84645 (before the kernel rewrite) on the same machine class.
+    printf "  \"baseline\": {\n"
+    printf "    \"commit\": \"da84645\",\n"
+    printf "    \"BenchmarkPacketBehavioral24\": {\"ns_per_op\": 2394108, \"bytes_per_op\": 631497, \"allocs_per_op\": 245},\n"
+    printf "    \"BenchmarkPacketBehavioral6\":  {\"ns_per_op\": 2996052, \"bytes_per_op\": 1186601, \"allocs_per_op\": 612},\n"
+    printf "    \"BenchmarkPacketBehavioral54\": {\"ns_per_op\": 1883006, \"bytes_per_op\": 483097, \"allocs_per_op\": 171},\n"
+    printf "    \"BenchmarkSweepExecutor\":      {\"ns_per_op\": 3964208, \"bytes_per_op\": 1742011, \"allocs_per_op\": 655},\n"
+    printf "    \"BenchmarkDecodeSoft/bits=8112\": {\"ns_per_op\": 6088301, \"bytes_per_op\": 1056768, \"allocs_per_op\": 3}\n"
+    printf "  },\n"
+    printf "  \"benchmarks\": [\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out" >&2

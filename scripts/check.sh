@@ -46,10 +46,25 @@ echo "==> coverage floors"
 check_coverage ./internal/sim 90
 check_coverage ./internal/core 75
 
+# Hot-path guarantees. The allocation gates pin the zero-steady-state-alloc
+# contract of the packet kernels (they also run under -race above, but the
+# race detector's instrumentation changes allocation behavior, so they are
+# re-run natively here), and the short benchmark run smoke-tests every
+# scenario scripts/bench.sh tracks in BENCH_*.json without timing anything.
+echo "==> allocation gates"
+go test -run 'AllocFree|TestFIRProcessSteadyStateAllocs|TestRestartAllocs' -count=1 \
+    ./internal/phy ./internal/phy/viterbi ./internal/dsp ./internal/randutil
+
+echo "==> benchmark smoke (1 iteration per scenario)"
+go test -run '^$' -bench 'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkPacketIdeal24' -benchtime 1x ./internal/core > /dev/null
+go test -run '^$' -bench 'BenchmarkDecodeSoft' -benchtime 1x ./internal/phy/viterbi > /dev/null
+go test -run '^$' -bench 'BenchmarkFIRProcess|BenchmarkComplexFIRProcess|BenchmarkFFT|BenchmarkDFT' -benchtime 1x ./internal/dsp > /dev/null
+go test -run '^$' -bench 'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol' -benchtime 1x ./internal/phy > /dev/null
+
 # Short fuzz runs on top of the seed-corpus replay that `go test` already
 # performs. `go test -fuzz` accepts one target per invocation.
 echo "==> go test -fuzz (5s per target)"
 go test -run '^$' -fuzz '^FuzzScramblerRoundTrip$' -fuzztime 5s ./internal/phy
 go test -run '^$' -fuzz '^FuzzInterleaverRoundTrip$' -fuzztime 5s ./internal/phy
 
-echo "OK: build, vet, wlanlint, race tests, coverage floors and fuzz all clean"
+echo "OK: build, vet, wlanlint, race tests, coverage floors, alloc gates, bench smoke and fuzz all clean"

@@ -33,6 +33,7 @@ func cmdWaterfall(args []string) error {
 	}
 	fig.Title = "BER vs SNR per 802.11a mode (ideal front end)"
 	fmt.Print(fig.String())
+	printCacheStats(fig.Series...)
 	return nil
 }
 

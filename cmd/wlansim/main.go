@@ -187,8 +187,20 @@ func benchFlags(fs *flag.FlagSet) (*core.Config, *bool) {
 	fs.Float64Var(&cfg.WantedPowerDBm, "power", cfg.WantedPowerDBm, "wanted power (dBm)")
 	fs.IntVar(&cfg.Workers, "workers", cfg.Workers, "concurrent sweep points (0 = all CPUs, 1 = serial; results are identical)")
 	fs.IntVar(&cfg.TargetErrors, "target-errors", cfg.TargetErrors, "stop each point after this many bit errors (0 = run all packets)")
+	fs.Int64Var(&cfg.CacheBytes, "cache-bytes", cfg.CacheBytes, "stage-cache byte budget for sweeps (<= 0 selects the default)")
+	fs.BoolVar(&cfg.DisableStageCache, "no-stage-cache", cfg.DisableStageCache, "run sweeps without the invariant-prefix stage cache")
 	adjacent := fs.Bool("adjacent", false, "add the +16 dB adjacent channel")
 	return &cfg, adjacent
+}
+
+// printCacheStats reports the stage-cache effectiveness of each sweep series
+// that ran with a cache attached (nothing is printed for uncached runs).
+func printCacheStats(series ...*measure.Series) {
+	for _, s := range series {
+		if s.Cache.Enabled {
+			fmt.Printf("%s [%s]\n", s.Cache, s.Label)
+		}
+	}
 }
 
 func cmdBER(args []string) error {
@@ -245,6 +257,8 @@ func cmdFig5(args []string) error {
 	base.Seed = cfg.Seed
 	base.Workers = cfg.Workers
 	base.TargetErrors = cfg.TargetErrors
+	base.CacheBytes = cfg.CacheBytes
+	base.DisableStageCache = cfg.DisableStageCache
 	series, err := core.FilterBandwidthSweep(base, sim.Linspace(*lo, *hi, *n))
 	if err != nil {
 		return err
@@ -252,6 +266,7 @@ func cmdFig5(args []string) error {
 	fig := &measure.Figure{Title: "Figure 5: BER vs filter bandwidth (with present adjacent channel)"}
 	fig.Series = append(fig.Series, series)
 	fmt.Print(fig.String())
+	printCacheStats(series)
 	return writeFigureCSV(fig, *csvPath)
 }
 
@@ -287,6 +302,8 @@ func cmdFig6(args []string) error {
 	base.Seed = cfg.Seed
 	base.Workers = cfg.Workers
 	base.TargetErrors = cfg.TargetErrors
+	base.CacheBytes = cfg.CacheBytes
+	base.DisableStageCache = cfg.DisableStageCache
 	cps := sim.Linspace(*lo, *hi, *n)
 	with, err := core.CompressionPointSweep(base, cps, true)
 	if err != nil {
@@ -299,6 +316,7 @@ func cmdFig6(args []string) error {
 	fig := &measure.Figure{Title: "Figure 6: BER vs compression point of first LNA"}
 	fig.Series = append(fig.Series, with, without)
 	fmt.Print(fig.String())
+	printCacheStats(with, without)
 	return writeFigureCSV(fig, *csvPath)
 }
 
@@ -316,6 +334,8 @@ func cmdIP3(args []string) error {
 	base.Seed = cfg.Seed
 	base.Workers = cfg.Workers
 	base.TargetErrors = cfg.TargetErrors
+	base.CacheBytes = cfg.CacheBytes
+	base.DisableStageCache = cfg.DisableStageCache
 	series, err := core.IP3Sweep(base, sim.Linspace(*lo, *hi, *n), true)
 	if err != nil {
 		return err
@@ -323,6 +343,7 @@ func cmdIP3(args []string) error {
 	fig := &measure.Figure{Title: "BER vs LNA IIP3 (with adjacent channel, §5.1)"}
 	fig.Series = append(fig.Series, series)
 	fmt.Print(fig.String())
+	printCacheStats(series)
 	return nil
 }
 
@@ -343,6 +364,7 @@ func cmdEVM(args []string) error {
 	fig := &measure.Figure{Title: "EVM vs SNR with ideal receiver (§5.2)"}
 	fig.Series = append(fig.Series, series)
 	fmt.Print(fig.String())
+	printCacheStats(series)
 	return nil
 }
 

@@ -47,11 +47,23 @@ func Random(r *rand.Rand, n int) []byte {
 
 // RandomBytes returns n pseudo-random bytes from the given source.
 func RandomBytes(r *rand.Rand, n int) []byte {
-	out := make([]byte, n)
-	for i := range out {
-		out[i] = byte(r.Intn(256))
+	return RandomBytesInto(nil, r, n)
+}
+
+// RandomBytesInto appends n uniform random octets to dst (usually dst[:0] of
+// a reused buffer) and returns the extended slice. It draws exactly the same
+// sequence as RandomBytes for the same generator state.
+func RandomBytesInto(dst []byte, r *rand.Rand, n int) []byte {
+	need := len(dst) + n
+	if cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return out
+	for i := 0; i < n; i++ {
+		dst = append(dst, byte(r.Intn(256)))
+	}
+	return dst
 }
 
 // CountErrors returns the number of positions where a and b differ, comparing

@@ -32,6 +32,18 @@ func NewAWGN(powerW float64, seed int64) *AWGN {
 	return &AWGN{sigma: math.Sqrt(powerW / 2), rng: rand.New(rand.NewSource(seed))}
 }
 
+// AWGNFrom creates a noise source with total noise power powerW per complex
+// sample that draws from an externally owned generator instead of seeding its
+// own. Callers that re-draw noise per packet (the SNR sweeps' stage-split
+// pipeline) keep one long-lived stream and rewind it with
+// randutil.Restarter, avoiding a costly re-seed per source.
+func AWGNFrom(powerW float64, rng *rand.Rand) *AWGN {
+	if powerW < 0 {
+		powerW = 0
+	}
+	return &AWGN{sigma: math.Sqrt(powerW / 2), rng: rng}
+}
+
 // Sample returns one noise sample.
 func (a *AWGN) Sample() complex128 {
 	return complex(a.rng.NormFloat64()*a.sigma, a.rng.NormFloat64()*a.sigma)

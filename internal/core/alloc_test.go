@@ -1,0 +1,41 @@
+package core
+
+import "testing"
+
+// packetRunAllocBudget is the steady-state allocation budget for one
+// behavioral packet simulation (one Bench.Run with warm buffers). The real
+// figure is ~18–21 objects — receiver result assembly and a handful of
+// unavoidable interface boxes — and, critically, it must not scale with the
+// symbol count: 6 Mbit/s sends ~4x the OFDM symbols of 54 Mbit/s, so a
+// per-symbol allocation shows up as a rate-dependent blow-up long before it
+// trips the shared budget.
+const packetRunAllocBudget = 40
+
+// TestPacketRunAllocBounded gates every rate's packet hot path under one
+// shared AllocsPerRun budget. Before the TransmitInto/ReuseBuffers work the
+// 6 Mbit/s path allocated ~4x the other rates (fresh per-symbol and
+// per-frame buffers); this test keeps all rates on the reuse path.
+func TestPacketRunAllocBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("behavioral chain too slow for -short")
+	}
+	for _, rate := range []int{6, 24, 54} {
+		bench, err := NewBench(packetBenchConfig(rate))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm every reused buffer (front end, frame, scratch, receiver).
+		if _, err := bench.Run(); err != nil {
+			t.Fatal(err)
+		}
+		n := testing.AllocsPerRun(5, func() {
+			if _, err := bench.Run(); err != nil {
+				panic(err)
+			}
+		})
+		if n > packetRunAllocBudget {
+			t.Errorf("%d Mbit/s: %v allocations per packet run, budget %d — a hot-path buffer stopped being reused",
+				rate, n, packetRunAllocBudget)
+		}
+	}
+}

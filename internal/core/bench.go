@@ -15,9 +15,11 @@ import (
 	"wlansim/internal/channel"
 	"wlansim/internal/measure"
 	"wlansim/internal/phy"
+	"wlansim/internal/randutil"
 	"wlansim/internal/rf"
 	"wlansim/internal/rxdsp"
 	"wlansim/internal/seed"
+	"wlansim/internal/sim"
 	"wlansim/internal/units"
 )
 
@@ -105,6 +107,16 @@ type Config struct {
 	// TuneRF, if set, adjusts the behavioral receiver configuration after
 	// defaults are applied (used by the parameter sweeps).
 	TuneRF func(*rf.ReceiverConfig)
+	// SweptFrontEndFilterOnly is a sweep harness's promise that its swept
+	// front-end parameter (applied through TuneRF) only alters the behavioral
+	// receiver's channel-select filter or blocks after it. TuneRF is a
+	// function and cannot be content-hashed, so this explicit declaration is
+	// what authorizes caching the front-end segment upstream of the filter
+	// (LNA, mixers, DC block) across the sweep's points — exact because each
+	// block consumes the whole frame before the next runs and every front-end
+	// noise/LO stream restarts identically per packet. Only meaningful with
+	// SweptStage == StageFrontEnd and FrontEnd == FrontEndBehavioral.
+	SweptFrontEndFilterOnly bool
 	// TuneCoSim likewise adjusts the analog solver configuration.
 	TuneCoSim func(*analog.FrontEndConfig)
 	// UseIdealRxTiming decodes with genie timing instead of the
@@ -127,6 +139,27 @@ type Config struct {
 	// points record the confidence interval of the bits actually
 	// simulated, so early-stopped points carry visibly wider intervals.
 	TargetErrors int
+	// SweptStage declares the first pipeline stage the sweep's swept
+	// parameter affects (see Stage and StageParams). Stages strictly before
+	// it are invariant across the sweep's points: they derive their
+	// randomness from ContentSeed instead of Seed and may be served from
+	// Cache. The zero value (StageTX) means everything depends on Seed —
+	// the right default for standalone runs.
+	SweptStage Stage
+	// ContentSeed is the seed root of the invariant prefix stages (usually
+	// the sweep's base seed, never the per-point derived Seed). Zero falls
+	// back to Seed.
+	ContentSeed int64
+	// Cache, if non-nil, memoizes invariant prefix waveforms across the
+	// Benches of one sweep run. Results are bit-identical with and without
+	// it; only wall-clock changes.
+	Cache *sim.StageCache
+	// CacheBytes bounds the stage cache the sweep harnesses create (<= 0
+	// selects sim.DefaultCacheBytes).
+	CacheBytes int64
+	// DisableStageCache makes the sweep harnesses run without a stage
+	// cache (every point recomputes its full pipeline).
+	DisableStageCache bool
 }
 
 // DefaultConfig returns a baseline scenario: 24 Mbps, 100-byte packets,
@@ -177,9 +210,29 @@ type Bench struct {
 	rx       *rxdsp.Receiver
 	irx      *rxdsp.IdealReceiver
 	comp     *channel.Composer
-	rng      *rand.Rand
 	emitters []channel.Emitter
 	antenna  []complex128
+
+	// Stage RNG streams. txRNG and chRNG are re-seeded per packet and per
+	// stage (seed.ForStage), so each stage's realization is a pure function
+	// of (stage root, packet index) — the property that makes cached stage
+	// outputs order-independent. The noise stream is sequential across the
+	// packets of one Run and rewound by noiseRestart at the top of each Run,
+	// so SNR sweeps re-draw only the noise without paying a per-packet
+	// re-seed of the lagged-Fibonacci state.
+	txRNG        *rand.Rand
+	chRNG        *rand.Rand
+	noiseRNG     *rand.Rand
+	noiseRestart *randutil.Restarter
+
+	// frame is the reused wanted-PPDU assembly target; scratch receives the
+	// copy-on-read clone of cached waveforms before mutation.
+	frame   phy.Frame
+	scratch []complex128
+
+	// keyContent caches the content-key fold of the invariant configuration
+	// (one kind/noise combination per Bench, so one fold suffices).
+	keyContent uint64
 }
 
 // NewBench validates the scenario.
@@ -304,8 +357,35 @@ func interfererWaveform(rateMbps int, total int, rng *rand.Rand) ([]complex128, 
 	return out[:total], nil
 }
 
-// composePacket builds the composite antenna waveform for one wanted frame.
-func (b *Bench) composePacket(frame *phy.Frame, os int, rng *rand.Rand) ([]complex128, error) {
+// synthTX runs StageTX for packet p: it re-seeds the TX stream, draws the
+// scrambler seed and payload, and assembles the PPDU into the bench's reused
+// frame. The returned psdu and frame alias bench-owned buffers valid until
+// the next synthTX call.
+func (b *Bench) synthTX(p int) ([]byte, *phy.Frame, error) {
+	if b.txRNG == nil {
+		b.txRNG = rand.New(rand.NewSource(0))
+	}
+	rng := b.txRNG
+	rng.Seed(seed.ForStage(b.stageRoot(StageTX), int(StageTX), p))
+	b.tx.ScramblerSeed = byte(1 + rng.Intn(127))
+	psdu := bits.RandomBytesInto(b.frame.PSDU[:0], rng, b.cfg.PSDULen)
+	if err := b.tx.TransmitInto(&b.frame, psdu); err != nil {
+		return nil, nil, err
+	}
+	return b.frame.PSDU, &b.frame, nil
+}
+
+// composeChannel runs StageChannel for packet p: interferer synthesis,
+// oversampled composition, multipath, sample-clock offset and CFO — the
+// noiseless antenna waveform. The result is written over dst (pass nil for a
+// fresh allocation the caller will own).
+func (b *Bench) composeChannel(dst []complex128, frame *phy.Frame, os, p int) ([]complex128, error) {
+	if b.chRNG == nil {
+		b.chRNG = rand.New(rand.NewSource(0))
+	}
+	rng := b.chRNG
+	rng.Seed(seed.ForStage(b.stageRoot(StageChannel), int(StageChannel), p))
+
 	totalNative := leadInSamples + len(frame.Samples) + tailSamples
 	emitters := append(b.emitters[:0], channel.Emitter{
 		Samples:      frame.Samples,
@@ -333,7 +413,7 @@ func (b *Bench) composePacket(frame *phy.Frame, os int, rng *rand.Rand) ([]compl
 		b.comp = comp
 	}
 	comp := b.comp
-	x, err := comp.ComposeInto(b.antenna[:0], emitters)
+	x, err := comp.ComposeInto(dst, emitters)
 	if err != nil {
 		return nil, err
 	}
@@ -352,7 +432,6 @@ func (b *Bench) composePacket(frame *phy.Frame, os int, rng *rand.Rand) ([]compl
 		}
 		x = x[:want]
 	}
-	b.antenna = x
 
 	fs := comp.CompositeRateHz()
 	if b.cfg.MultipathTaps > 0 {
@@ -381,18 +460,207 @@ func (b *Bench) composePacket(frame *phy.Frame, os int, rng *rand.Rand) ([]compl
 	if b.cfg.CFOHz != 0 {
 		channel.NewCFO(b.cfg.CFOHz, fs, rng.Float64()).Process(x)
 	}
-	if b.cfg.ChannelSNRdB != nil {
-		// White noise across the composite band; the in-band (20 MHz) SNR
-		// equals the requested value.
-		wantedW := units.DBmToWatts(b.cfg.WantedPowerDBm)
-		noiseW := wantedW / units.DBToLinear(*b.cfg.ChannelSNRdB) * float64(os)
-		channel.NewAWGN(noiseW, rng.Int63()).AddTo(x)
-	}
 	return x, nil
 }
 
+// addNoise runs StageNoise: white noise across the composite band so the
+// in-band (20 MHz) SNR equals the requested value, drawn from the given
+// stream.
+func (b *Bench) addNoise(x []complex128, os int, rng *rand.Rand) {
+	wantedW := units.DBmToWatts(b.cfg.WantedPowerDBm)
+	noiseW := wantedW / units.DBToLinear(*b.cfg.ChannelSNRdB) * float64(os)
+	channel.AWGNFrom(noiseW, rng).AddTo(x)
+}
+
+// noiseAfterFrontEnd reports whether the antenna AWGN may be applied after
+// the front end instead of before it. This is exact — not an approximation —
+// only for the identity chain: the ideal front end at oversample 1 is a
+// sample-for-sample copy, so adding the same noise realization before or
+// after it yields bit-identical basebands. SNR sweeps over that chain (the
+// EVM and waterfall experiments) then share the noiseless post-front-end
+// waveform across points and re-draw only the noise. The predicate depends
+// on configuration alone, never on cache state, so cached and uncached runs
+// place the noise identically.
+func (b *Bench) noiseAfterFrontEnd(os int) bool {
+	return b.cfg.SweptStage == StageNoise &&
+		b.cfg.FrontEnd == FrontEndIdeal &&
+		os == 1 &&
+		b.cfg.ChannelSNRdB != nil
+}
+
+// suffixNoise reports whether the antenna noise belongs to the point-variant
+// suffix (drawn from the sequential per-Run stream) rather than the cached
+// invariant prefix (drawn from a per-packet stage stream).
+func (b *Bench) suffixNoise() bool {
+	return b.cfg.ChannelSNRdB != nil && b.cfg.SweptStage <= StageNoise
+}
+
+// preFilterPrefix reports whether the cached prefix may extend through the
+// behavioral front end up to (but excluding) the channel-select filter. The
+// sweep harness vouches via SweptFrontEndFilterOnly that the swept parameter
+// only touches the filter or later blocks; the predicate itself depends on
+// configuration alone, never on cache state.
+func (b *Bench) preFilterPrefix() bool {
+	return b.cfg.SweptStage == StageFrontEnd &&
+		b.cfg.SweptFrontEndFilterOnly &&
+		b.cfg.FrontEnd == FrontEndBehavioral
+}
+
+// fullPrefix computes TX + channel (+ prefix noise when withNoise) for packet
+// p into a freshly allocated, caller-owned stage entry.
+func (b *Bench) fullPrefix(p, os int, withNoise bool) (*stageEntry, error) {
+	psdu, frame, err := b.synthTX(p)
+	if err != nil {
+		return nil, err
+	}
+	wave, err := b.composeChannel(nil, frame, os, p)
+	if err != nil {
+		return nil, err
+	}
+	if withNoise {
+		if b.noiseRNG == nil {
+			b.noiseRNG = rand.New(rand.NewSource(0))
+		}
+		b.noiseRNG.Seed(seed.ForStage(b.stageRoot(StageNoise), int(StageNoise), p))
+		b.addNoise(wave, os, b.noiseRNG)
+	}
+	return &stageEntry{refBits: bits.FromBytes(psdu), wave: wave}, nil
+}
+
+// prefixBoundary tells Run where packetPrefix's returned waveform sits in the
+// pipeline, i.e. which suffix still has to run.
+type prefixBoundary int
+
+const (
+	// prefixAntenna: the waveform is the antenna signal; noise (when in the
+	// suffix) and the full front end still apply.
+	prefixAntenna prefixBoundary = iota
+	// prefixPreFilter: the waveform is inside the behavioral front end, just
+	// upstream of the channel-select filter; ProcessFromFilter still applies.
+	prefixPreFilter
+	// prefixBaseband: the waveform is the noiseless post-front-end baseband;
+	// only the per-point noise still applies (the SNR-sweep fast path).
+	prefixBaseband
+)
+
+// packetPrefix produces packet p's waveform at the prefix boundary along
+// with its reference payload bits, serving the invariant prefix from the
+// cache when one is attached. The returned boundary tells Run which pipeline
+// suffix still has to execute; the waveform is safe to mutate (cache hits are
+// copied out).
+func (b *Bench) packetPrefix(p, os int) (refBits []byte, wave []complex128, boundary prefixBoundary, err error) {
+	cloneWave := func(e *stageEntry) []complex128 {
+		b.scratch = append(b.scratch[:0], e.wave...)
+		return b.scratch
+	}
+	rxFE, behavioral := b.fe.(*rf.Receiver)
+	switch {
+	case b.noiseAfterFrontEnd(os):
+		// Baseband prefix: TX + channel + identity front end, noiseless.
+		v, err := b.cfg.Cache.GetOrCompute(b.stageKey(cacheKindBaseband, p, os, false),
+			func() (any, int64, error) {
+				e, err := b.fullPrefix(p, os, false)
+				if err != nil {
+					return nil, 0, err
+				}
+				b.fe.Reset()
+				e.wave = append([]complex128(nil), b.fe.Process(e.wave)...)
+				return e, e.sizeBytes(), nil
+			})
+		if err != nil {
+			return nil, nil, prefixAntenna, err
+		}
+		e := v.(*stageEntry)
+		return e.refBits, cloneWave(e), prefixBaseband, nil
+
+	case b.preFilterPrefix() && behavioral:
+		// Pre-filter prefix: TX + channel (+ invariant noise) + the front-end
+		// segment upstream of the channel-select filter. Bit-exact because
+		// Receiver.Process is ProcessToFilter∘ProcessFromFilter and every
+		// front-end noise/LO stream restarts per packet from fixed seeds.
+		withNoise := b.cfg.ChannelSNRdB != nil
+		v, err := b.cfg.Cache.GetOrCompute(b.stageKey(cacheKindPreFilter, p, os, withNoise),
+			func() (any, int64, error) {
+				e, err := b.fullPrefix(p, os, withNoise)
+				if err != nil {
+					return nil, 0, err
+				}
+				rxFE.Reset()
+				e.wave = rxFE.ProcessToFilter(e.wave)
+				return e, e.sizeBytes(), nil
+			})
+		if err != nil {
+			return nil, nil, prefixAntenna, err
+		}
+		e := v.(*stageEntry)
+		return e.refBits, cloneWave(e), prefixPreFilter, nil
+
+	case b.cfg.SweptStage >= StageNoise:
+		// Antenna prefix: TX + channel, including the noise only when it is
+		// invariant too (front-end sweeps with an explicit channel SNR).
+		withNoise := b.cfg.ChannelSNRdB != nil && !b.suffixNoise()
+		v, err := b.cfg.Cache.GetOrCompute(b.stageKey(cacheKindAntenna, p, os, withNoise),
+			func() (any, int64, error) {
+				e, err := b.fullPrefix(p, os, withNoise)
+				if err != nil {
+					return nil, 0, err
+				}
+				return e, e.sizeBytes(), nil
+			})
+		if err != nil {
+			return nil, nil, prefixAntenna, err
+		}
+		e := v.(*stageEntry)
+		return e.refBits, cloneWave(e), prefixAntenna, nil
+
+	case b.cfg.SweptStage == StageChannel:
+		// TX prefix only: the channel is swept, the frame is not.
+		v, err := b.cfg.Cache.GetOrCompute(b.stageKey(cacheKindTX, p, os, false),
+			func() (any, int64, error) {
+				psdu, frame, err := b.synthTX(p)
+				if err != nil {
+					return nil, 0, err
+				}
+				e := &stageEntry{
+					refBits: bits.FromBytes(psdu),
+					wave:    append([]complex128(nil), frame.Samples...),
+				}
+				return e, e.sizeBytes(), nil
+			})
+		if err != nil {
+			return nil, nil, prefixAntenna, err
+		}
+		e := v.(*stageEntry)
+		// The composer only reads emitter samples, so the cached frame
+		// waveform is aliased, not copied.
+		txFrame := phy.Frame{Samples: e.wave}
+		x, err := b.composeChannel(b.antenna[:0], &txFrame, os, p)
+		if err != nil {
+			return nil, nil, prefixAntenna, err
+		}
+		b.antenna = x
+		return e.refBits, x, prefixAntenna, nil
+
+	default:
+		// Everything depends on the swept parameter (or no sweep at all):
+		// run the full chain into the bench's reused antenna buffer.
+		psdu, frame, err := b.synthTX(p)
+		if err != nil {
+			return nil, nil, prefixAntenna, err
+		}
+		x, err := b.composeChannel(b.antenna[:0], frame, os, p)
+		if err != nil {
+			return nil, nil, prefixAntenna, err
+		}
+		b.antenna = x
+		return bits.FromBytes(psdu), x, prefixAntenna, nil
+	}
+}
+
 // Run simulates the configured number of packets and returns the measured
-// statistics.
+// statistics. The pipeline is the five-stage chain documented on Stage; each
+// packet's prefix (the stages before Config.SweptStage) may be served from
+// Config.Cache, with identical results either way.
 func (b *Bench) Run() (*Result, error) {
 	os := b.oversample()
 	if b.fe == nil {
@@ -410,40 +678,60 @@ func (b *Bench) Run() (*Result, error) {
 	if b.tx == nil {
 		b.tx = &phy.Transmitter{Mode: mode}
 	}
-	tx := b.tx
-	if b.rng == nil {
-		b.rng = rand.New(rand.NewSource(0))
+	suffixNoise := b.suffixNoise()
+	if suffixNoise {
+		// The point-variant noise is one sequential stream per Run, rewound
+		// by snapshot restore instead of a costly re-seed. Draw counts per
+		// packet are fixed by the configuration, so packet p's noise is
+		// independent of how many packets run after it.
+		if b.noiseRestart == nil {
+			// The Restarter snapshots the generator's current state, so the
+			// source must be built from the point's noise seed — snapshotting
+			// a differently seeded generator would hand every sweep point the
+			// same noise realization.
+			s := seed.ForStage(b.stageRoot(StageNoise), int(StageNoise), 0)
+			b.noiseRNG = rand.New(rand.NewSource(s))
+			b.noiseRestart = randutil.New(b.noiseRNG, s)
+		}
+		b.noiseRestart.Restart()
 	}
 	res := &Result{OversampleFactor: os, FrontEnd: b.cfg.FrontEnd}
 	var evmAcc float64
 	var evmSymbols, evmRuns int
 
 	for p := 0; p < b.cfg.Packets; p++ {
-		// Every packet draws from its own derived stream, so trial p is the
-		// same realization no matter how many packets ran before it (the
-		// enabling property for early stopping and, later, intra-point
-		// parallelism). Re-seeding the cached generator is equivalent to
-		// constructing a fresh one from the same source seed.
-		rng := b.rng
-		rng.Seed(seed.ForPacket(b.cfg.Seed, p))
-		tx.ScramblerSeed = byte(1 + rng.Intn(127))
-		psdu := bits.RandomBytes(rng, b.cfg.PSDULen)
-		frame, err := tx.Transmit(psdu)
+		refBits, wave, boundary, err := b.packetPrefix(p, os)
 		if err != nil {
 			return nil, err
 		}
-		antenna, err := b.composePacket(frame, os, rng)
-		if err != nil {
-			return nil, err
+		var baseband []complex128
+		switch boundary {
+		case prefixBaseband:
+			// SNR-sweep fast path: wave is the noiseless post-front-end
+			// baseband; only the noise is re-drawn per point.
+			b.addNoise(wave, os, b.noiseRNG)
+			baseband = wave
+		case prefixPreFilter:
+			// Filter-sweep fast path: wave already passed the pre-filter
+			// front-end segment; only the channel-select filter and the
+			// blocks after it run per point. Reset restores every block, but
+			// the pre-filter ones are simply not used again this packet.
+			rx := fe.(*rf.Receiver)
+			rx.Reset()
+			baseband = rx.ProcessFromFilter(wave)
+		default:
+			if suffixNoise {
+				b.addNoise(wave, os, b.noiseRNG)
+			}
+			fe.Reset()
+			baseband = fe.Process(wave)
 		}
-		fe.Reset()
-		baseband := fe.Process(antenna)
 
 		var pkt *rxdsp.PacketResult
 		var rxErr error
 		if b.cfg.UseIdealRxTiming {
 			if b.irx == nil {
-				b.irx = &rxdsp.IdealReceiver{Mode: mode, PSDULen: b.cfg.PSDULen}
+				b.irx = &rxdsp.IdealReceiver{Mode: mode, PSDULen: b.cfg.PSDULen, ReuseBuffers: true}
 			}
 			pkt, rxErr = b.irx.Receive(baseband, leadInSamples)
 		} else {
@@ -451,11 +739,11 @@ func (b *Bench) Run() (*Result, error) {
 				b.rx = rxdsp.NewReceiver()
 				b.rx.HardDecisions = b.cfg.HardDecisions
 				b.rx.DisableCSI = b.cfg.DisableCSI
+				b.rx.ReuseBuffers = true
 			}
 			b.rx.Reset()
 			pkt, rxErr = b.rx.Receive(baseband, 0)
 		}
-		refBits := bits.FromBytes(psdu)
 		if rxErr != nil {
 			res.Counter.AddLostPacket(len(refBits))
 			if b.cfg.TargetErrors > 0 && res.Counter.Errors >= b.cfg.TargetErrors {

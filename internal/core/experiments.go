@@ -30,6 +30,20 @@ func runBERPoint(cfg Config) (measure.Point, error) {
 	return res.Counter.Point(), nil
 }
 
+// newSweepCache builds the stage cache one sweep's points share, honoring
+// the base config's cache knobs: an explicitly provided Cache wins, a nil
+// cache disables sharing entirely when DisableStageCache is set, and
+// CacheBytes bounds the resident bytes (0 selects sim.DefaultCacheBytes).
+func newSweepCache(base Config) *sim.StageCache {
+	if base.DisableStageCache {
+		return nil
+	}
+	if base.Cache != nil {
+		return base.Cache
+	}
+	return sim.NewStageCache(base.CacheBytes)
+}
+
 // AdjacentChannelSpec returns the paper's first adjacent channel: +20 MHz,
 // 16 dB above the wanted level (§2.2).
 func AdjacentChannelSpec(wantedDBm float64) InterfererSpec {
@@ -61,7 +75,14 @@ func Figure5Config() Config {
 // filter passband edge (Hz) and measures the BER. The x axis is reported in
 // units of 1e8 Hz like the paper's plot. Points run on base.Workers
 // goroutines; each point seeds its packets from (base.Seed, edge).
+//
+// The filter edge first matters inside the front end (StageFrontEnd) — and
+// within it, only at the channel-select filter — so the sweep's points share
+// not just the TX synthesis and channel composition of every packet but the
+// whole front-end segment upstream of the filter (LNA, mixers, DC block)
+// through the invariant-prefix stage cache (SweptFrontEndFilterOnly).
 func FilterBandwidthSweep(base Config, edgesHz []float64) (*measure.Series, error) {
+	cache := newSweepCache(base)
 	sweep := &sim.Sweep{
 		Name:    "BER vs filter bandwidth",
 		XLabel:  "passband edge frequency (1.0e8 Hz)",
@@ -71,6 +92,10 @@ func FilterBandwidthSweep(base Config, edgesHz []float64) (*measure.Series, erro
 		RunPoint: func(edge float64) (measure.Point, error) {
 			cfg := base
 			cfg.Seed = seed.ForPoint(base.Seed, edge)
+			cfg.ContentSeed = base.Seed
+			cfg.SweptStage = StageFrontEnd
+			cfg.SweptFrontEndFilterOnly = true
+			cfg.Cache = cache
 			prev := base.TuneRF
 			cfg.TuneRF = func(rc *rf.ReceiverConfig) {
 				if prev != nil {
@@ -88,6 +113,9 @@ func FilterBandwidthSweep(base Config, edgesHz []float64) (*measure.Series, erro
 	// Report the x axis in units of 1e8 Hz, matching the paper's figure.
 	for i := range series.Points {
 		series.Points[i].X /= 1e8
+	}
+	if cache != nil {
+		series.Cache = cache.Stats()
 	}
 	return series, nil
 }
@@ -114,6 +142,7 @@ func CompressionPointSweep(base Config, compressionDBm []float64, withAdjacent b
 	if withAdjacent {
 		label = "adjacent channel"
 	}
+	cache := newSweepCache(base)
 	sweep := &sim.Sweep{
 		Name:    label,
 		XLabel:  "compression point of LNA1 (dBm)",
@@ -123,6 +152,9 @@ func CompressionPointSweep(base Config, compressionDBm []float64, withAdjacent b
 		RunPoint: func(cp float64) (measure.Point, error) {
 			cfg := base
 			cfg.Seed = seed.ForPoint(base.Seed, cp)
+			cfg.ContentSeed = base.Seed
+			cfg.SweptStage = StageFrontEnd
+			cfg.Cache = cache
 			if withAdjacent {
 				cfg.Interferers = []InterfererSpec{AdjacentChannelSpec(cfg.WantedPowerDBm)}
 			} else {
@@ -140,13 +172,21 @@ func CompressionPointSweep(base Config, compressionDBm []float64, withAdjacent b
 			return runBERPoint(cfg)
 		},
 	}
-	return sweep.Execute()
+	series, err := sweep.Execute()
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		series.Cache = cache.Stats()
+	}
+	return series, nil
 }
 
 // IP3Sweep measures BER versus the LNA's input-referred IP3 (dBm), the
 // other nonlinearity sweep mentioned in §5.1.
 func IP3Sweep(base Config, iip3DBm []float64, withAdjacent bool) (*measure.Series, error) {
 	label := "BER vs LNA IIP3"
+	cache := newSweepCache(base)
 	sweep := &sim.Sweep{
 		Name:    label,
 		XLabel:  "IIP3 of LNA1 (dBm)",
@@ -156,6 +196,9 @@ func IP3Sweep(base Config, iip3DBm []float64, withAdjacent bool) (*measure.Serie
 		RunPoint: func(ip3 float64) (measure.Point, error) {
 			cfg := base
 			cfg.Seed = seed.ForPoint(base.Seed, ip3)
+			cfg.ContentSeed = base.Seed
+			cfg.SweptStage = StageFrontEnd
+			cfg.Cache = cache
 			if withAdjacent {
 				cfg.Interferers = []InterfererSpec{AdjacentChannelSpec(cfg.WantedPowerDBm)}
 			}
@@ -171,7 +214,14 @@ func IP3Sweep(base Config, iip3DBm []float64, withAdjacent bool) (*measure.Serie
 			return runBERPoint(cfg)
 		},
 	}
-	return sweep.Execute()
+	series, err := sweep.Execute()
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		series.Cache = cache.Stats()
+	}
+	return series, nil
 }
 
 // SpectrumExperiment reproduces Figure 4: the PSD of an OFDM burst with the
@@ -220,7 +270,13 @@ func SpectrumExperiment(wantedDBm float64, withSecondAdjacent bool, seed int64) 
 
 // EVMvsSNR reproduces the §5.2 methodology: error vector magnitude measured
 // with the ideal receiver model over a sweep of channel SNRs.
+//
+// The SNR first matters at the noise stage, so the points share everything
+// up to and including the noiseless post-front-end waveform (the ideal front
+// end is the identity, letting the cache store the reusable baseband) and
+// re-draw only the noise per point.
 func EVMvsSNR(base Config, snrsDB []float64) (*measure.Series, error) {
+	cache := newSweepCache(base)
 	sweep := &sim.Sweep{
 		Name:    "EVM vs SNR (ideal receiver)",
 		XLabel:  "channel SNR (dB)",
@@ -230,6 +286,9 @@ func EVMvsSNR(base Config, snrsDB []float64) (*measure.Series, error) {
 		Run: func(snr float64) (float64, error) {
 			cfg := base
 			cfg.Seed = seed.ForPoint(base.Seed, snr)
+			cfg.ContentSeed = base.Seed
+			cfg.SweptStage = StageNoise
+			cfg.Cache = cache
 			cfg.FrontEnd = FrontEndIdeal
 			cfg.UseIdealRxTiming = true
 			cfg.Interferers = nil
@@ -246,7 +305,14 @@ func EVMvsSNR(base Config, snrsDB []float64) (*measure.Series, error) {
 			return res.EVM.Percent(), nil
 		},
 	}
-	return sweep.Execute()
+	series, err := sweep.Execute()
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		series.Cache = cache.Stats()
+	}
+	return series, nil
 }
 
 // TimingRow is one row of the reproduced Table 2.

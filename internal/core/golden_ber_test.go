@@ -25,17 +25,17 @@ var goldenBER = []struct {
 	Golden   float64
 	Tol      float64
 }{
-	// 6 Mbps (BPSK 1/2): the sensitivity corner. At 4 dB the limiting
+	// 6 Mbps (BPSK 1/2): the sensitivity corner. At 3 dB the limiting
 	// mechanism is packet synchronization (lost packets count at the 0.5
 	// guessing rate), so BER moves in quanta of 1/12 here — a sync change
 	// of a single packet breaks the ±0.05 band.
-	{RateMbps: 6, SNRdB: 4, Golden: 0.166667, Tol: 0.05},
+	{RateMbps: 6, SNRdB: 3, Golden: 0.250000, Tol: 0.05},
 	{RateMbps: 6, SNRdB: 10, Golden: 0, Tol: 0.001},
 	// 24 Mbps (16-QAM 1/2): mid-slope and error-free points.
-	{RateMbps: 24, SNRdB: 9, Golden: 0.086250, Tol: 0.03},
+	{RateMbps: 24, SNRdB: 9, Golden: 0.175833, Tol: 0.03},
 	{RateMbps: 24, SNRdB: 12, Golden: 0, Tol: 0.001},
 	// 54 Mbps (64-QAM 3/4): the steep high-rate waterfall.
-	{RateMbps: 54, SNRdB: 17, Golden: 0.122083, Tol: 0.03},
+	{RateMbps: 54, SNRdB: 17, Golden: 0.150208, Tol: 0.03},
 	{RateMbps: 54, SNRdB: 20, Golden: 0, Tol: 0.001},
 }
 

@@ -66,6 +66,30 @@ func BenchmarkSweepExecutor(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepFilterBW measures a real RF-parameter sweep end to end: the
+// Figure 5 filter-bandwidth scenario (48 Mbit/s wanted + adjacent channel at
+// 3x oversampling, behavioral front end) over 6 passband edges with 2 packets
+// per point on 4 workers. The swept parameter only affects the front end, so
+// this is the canonical beneficiary of the invariant-prefix stage cache.
+func BenchmarkSweepFilterBW(b *testing.B) {
+	base := Figure5Config()
+	base.Packets = 2
+	base.PSDULen = 100
+	base.Workers = 4
+	edges := []float64{6e6, 7.6e6, 9.2e6, 10.8e6, 12.4e6, 14e6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		series, err := FilterBandwidthSweep(base, edges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series.Points) != len(edges) {
+			b.Fatalf("got %d points", len(series.Points))
+		}
+	}
+}
+
 // BenchmarkPacketIdeal24 isolates the DSP chain (no RF impairment models):
 // transmitter, AWGN, synchronizing receiver, soft Viterbi.
 func BenchmarkPacketIdeal24(b *testing.B) {

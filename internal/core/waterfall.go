@@ -20,6 +20,11 @@ import (
 // using the ideal front end (pure PHY performance). Each curve draws from
 // its own seed stream (derived from base.Seed and the rate) and its points
 // run on base.Workers goroutines.
+//
+// Only the noise depends on the swept SNR, so each curve's points share the
+// per-packet noiseless baseband through a per-curve stage cache (the cached
+// content differs per rate, hence per-curve rather than per-figure caches)
+// and re-draw only the AWGN.
 func WaterfallBERvsSNR(base Config, ratesMbps []int, snrsDB []float64) (*measure.Figure, error) {
 	fig := &measure.Figure{Title: "BER vs channel SNR (ideal front end)"}
 	for _, rate := range ratesMbps {
@@ -28,6 +33,7 @@ func WaterfallBERvsSNR(base Config, ratesMbps []int, snrsDB []float64) (*measure
 		}
 		r := rate
 		rateSeed := seed.ForSeries(base.Seed, uint64(r))
+		cache := newSweepCache(base)
 		sweep := &sim.Sweep{
 			Name:    fmt.Sprintf("%d Mbps", r),
 			XLabel:  "channel SNR (dB)",
@@ -37,6 +43,9 @@ func WaterfallBERvsSNR(base Config, ratesMbps []int, snrsDB []float64) (*measure
 			RunPoint: func(snr float64) (measure.Point, error) {
 				cfg := base
 				cfg.Seed = seed.ForPoint(rateSeed, snr)
+				cfg.ContentSeed = rateSeed
+				cfg.SweptStage = StageNoise
+				cfg.Cache = cache
 				cfg.RateMbps = r
 				cfg.FrontEnd = FrontEndIdeal
 				cfg.Interferers = nil
@@ -48,6 +57,9 @@ func WaterfallBERvsSNR(base Config, ratesMbps []int, snrsDB []float64) (*measure
 		series, err := sweep.Execute()
 		if err != nil {
 			return nil, err
+		}
+		if cache != nil {
+			series.Cache = cache.Stats()
 		}
 		fig.Series = append(fig.Series, series)
 	}

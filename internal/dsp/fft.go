@@ -147,12 +147,24 @@ func FFTShift(x []complex128) []complex128 {
 	return out
 }
 
-// DFT computes the forward DFT directly in O(n^2). It accepts any length and
-// exists mainly as a reference for testing the FFT. The phasors
-// exp(-2*pi*i*k*n/N) take only N distinct values, so they are tabulated once
-// (N evaluations) and indexed by k*n mod N — no transcendental calls and no
-// accumulated rotation drift in the O(n^2) loop.
+// DFT computes the forward DFT of any length. Power-of-two lengths route
+// through the shared FFT plan cache (O(n log n)); every other length falls
+// back to the direct phasor-table evaluation. The two paths agree to float
+// rounding (different summation orders), which TestDFTRoutingEquivalence
+// pins across the routing boundary.
 func DFT(x []complex128) []complex128 {
+	if n := len(x); n > 0 && n&(n-1) == 0 {
+		return FFT(x)
+	}
+	return dftDirect(x)
+}
+
+// dftDirect computes the forward DFT by direct summation in O(n^2). It
+// accepts any length and is the reference oracle for the FFT tests. The
+// phasors exp(-2*pi*i*k*n/N) take only N distinct values, so they are
+// tabulated once (N evaluations) and indexed by k*n mod N — no
+// transcendental calls and no accumulated rotation drift in the O(n^2) loop.
+func dftDirect(x []complex128) []complex128 {
 	n := len(x)
 	out := make([]complex128, n)
 	if n == 0 {

@@ -45,9 +45,39 @@ func TestFFTMatchesDFT(t *testing.T) {
 	for _, n := range []int{1, 2, 4, 8, 64, 256} {
 		x := randomSignal(r, n)
 		got := FFT(x)
-		want := DFT(x)
+		want := dftDirect(x)
 		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
-			t.Errorf("n=%d: FFT differs from DFT by %g", n, d)
+			t.Errorf("n=%d: FFT differs from direct DFT by %g", n, d)
+		}
+	}
+}
+
+// TestDFTRoutingEquivalence pins DFT's routing boundary: power-of-two
+// lengths take the FFT plan cache and must agree with the direct oracle to
+// float rounding; every other length takes the direct path and must agree
+// with the oracle bit-exactly. The sizes bracket the boundary (n and n±1) so
+// a routing-predicate regression cannot hide.
+func TestDFTRoutingEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 3, 4, 5, 63, 64, 65, 255, 256, 257, 1023, 1024} {
+		x := randomSignal(r, n)
+		got := DFT(x)
+		want := dftDirect(x)
+		if n&(n-1) == 0 {
+			if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+				t.Errorf("n=%d (pow2, FFT-routed): differs from direct oracle by %g", n, d)
+			}
+			// The fast path must be the plan-cache FFT, not a re-derivation:
+			// bit-identical to FFT on the same input.
+			if d := maxAbsDiff(got, FFT(x)); d != 0 {
+				t.Errorf("n=%d: DFT fast path differs from FFT by %g", n, d)
+			}
+		} else {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d (direct-routed): bin %d differs from oracle: %v vs %v", n, i, got[i], want[i])
+				}
+			}
 		}
 	}
 }
@@ -173,7 +203,7 @@ func TestFFTPlanConcurrentUse(t *testing.T) {
 	wants := make([][]complex128, 16)
 	for i := range inputs {
 		inputs[i] = randomSignal(r, 256)
-		wants[i] = DFT(inputs[i])
+		wants[i] = dftDirect(inputs[i])
 	}
 	done := make(chan error, len(inputs))
 	for i := range inputs {

@@ -99,8 +99,9 @@ func BenchmarkFFTPlanForward(b *testing.B) {
 	}
 }
 
-// BenchmarkDFT tracks the reference oracle the FFT tests compare against
-// (satellite: the per-element cmplx.Exp must stay out of the O(n^2) loop).
+// BenchmarkDFT tracks both sides of DFT's routing boundary: n=1024 takes the
+// FFT plan cache, n=257 the direct phasor-table path (whose per-element
+// cmplx.Exp must stay out of the O(n^2) loop).
 func BenchmarkDFT(b *testing.B) {
 	for _, n := range []int{257, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

@@ -18,12 +18,44 @@ type Biquad struct {
 	s1, s2     complex128
 }
 
-// ProcessSample filters one sample through the section.
+// ProcessSample filters one sample through the section. The update is
+// written over the real and imaginary parts separately: the coefficients are
+// real, so the full complex products would spend half their multiplies on
+// zero imaginary parts — this is the innermost loop of every filter in the
+// receiver chain.
 func (q *Biquad) ProcessSample(x complex128) complex128 {
-	y := complex(q.B0, 0)*x + q.s1
-	q.s1 = complex(q.B1, 0)*x - complex(q.A1, 0)*y + q.s2
-	q.s2 = complex(q.B2, 0)*x - complex(q.A2, 0)*y
-	return y
+	xr, xi := real(x), imag(x)
+	yr := q.B0*xr + real(q.s1)
+	yi := q.B0*xi + imag(q.s1)
+	q.s1 = complex(q.B1*xr-q.A1*yr+real(q.s2), q.B1*xi-q.A1*yi+imag(q.s2))
+	q.s2 = complex(q.B2*xr-q.A2*yr, q.B2*xi-q.A2*yi)
+	return complex(yr, yi)
+}
+
+// Process filters a frame in place through the section. It performs exactly
+// the per-sample arithmetic of ProcessSample, but keeps the coefficients and
+// streaming state in locals across the frame so the compiler can register-
+// allocate them — the cascade processes section-major (whole frame per
+// section), which is bit-identical to sample-major order because a sample's
+// path through a section depends only on earlier samples through that section.
+func (q *Biquad) Process(x []complex128) []complex128 {
+	b0, b1, b2 := q.B0, q.B1, q.B2
+	a1, a2 := q.A1, q.A2
+	s1r, s1i := real(q.s1), imag(q.s1)
+	s2r, s2i := real(q.s2), imag(q.s2)
+	for i, v := range x {
+		xr, xi := real(v), imag(v)
+		yr := b0*xr + s1r
+		yi := b0*xi + s1i
+		s1r = b1*xr - a1*yr + s2r
+		s1i = b1*xi - a1*yi + s2i
+		s2r = b2*xr - a2*yr
+		s2i = b2*xi - a2*yi
+		x[i] = complex(yr, yi)
+	}
+	q.s1 = complex(s1r, s1i)
+	q.s2 = complex(s2r, s2i)
+	return x
 }
 
 // Reset clears the section state.
@@ -78,17 +110,30 @@ func (f *IIR) ProcessSample(x complex128) complex128 {
 	if g == 0 {
 		g = 1 // zero value acts as identity
 	}
-	y := x * complex(g, 0)
+	y := complex(g*real(x), g*imag(x))
 	for i := range f.Sections {
 		y = f.Sections[i].ProcessSample(y)
 	}
 	return y
 }
 
-// Process filters a frame in place and returns it.
+// Process filters a frame in place and returns it. The cascade runs
+// section-major (each biquad over the whole frame) rather than sample-major;
+// the per-sample arithmetic is identical, so the output matches a
+// ProcessSample loop bit for bit while the section state stays in registers.
 func (f *IIR) Process(x []complex128) []complex128 {
-	for i, v := range x {
-		x[i] = f.ProcessSample(v)
+	g := f.Gain
+	if g == 0 {
+		g = 1
+	}
+	//lint:ignore floateq multiplying by exactly 1.0 is a bit-exact identity, so the gain pass can be skipped
+	if g != 1 {
+		for i, v := range x {
+			x[i] = complex(g*real(v), g*imag(v))
+		}
+	}
+	for i := range f.Sections {
+		f.Sections[i].Process(x)
 	}
 	return x
 }

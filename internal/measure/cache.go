@@ -1,0 +1,52 @@
+package measure
+
+import "fmt"
+
+// CacheStats reports the effectiveness of the invariant-prefix stage cache
+// over one sweep run. The type lives in measure (not in the sim engine that
+// maintains the cache) so a Series can carry it without an import cycle.
+//
+// With an ample byte budget the counters are a pure function of the sweep
+// configuration — every worker count produces the same numbers, because the
+// cache computes each key exactly once (single-flight) and the set of keys is
+// fixed by the sweep. Under byte-budget pressure the eviction order, and with
+// it Misses/Evictions, can depend on scheduling; the simulated physics never
+// does (evicted entries are recomputed bit-identically from their content
+// key).
+type CacheStats struct {
+	// Enabled reports whether a stage cache was attached to the run at all;
+	// the zero value means the sweep ran uncached.
+	Enabled bool
+	// Hits and Misses count lookups that reused respectively computed an
+	// entry. A lookup that waits for another worker's in-flight computation
+	// of the same key counts as a hit.
+	Hits   int64
+	Misses int64
+	// BytesInUse is the resident entry payload at the end of the run;
+	// PeakBytes is the high-water mark.
+	BytesInUse int64
+	PeakBytes  int64
+	// Evictions counts entries dropped to keep BytesInUse under the budget.
+	Evictions int64
+}
+
+// Lookups returns the total number of cache queries.
+func (s CacheStats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRate returns the fraction of lookups served from the cache (0 when the
+// cache saw no traffic).
+func (s CacheStats) HitRate() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// String formats the statistics for the CLI reports.
+func (s CacheStats) String() string {
+	if !s.Enabled {
+		return "stage cache: disabled"
+	}
+	return fmt.Sprintf("stage cache: %d hits / %d misses (%.1f%% hit rate), %d bytes resident (peak %d, %d evictions)",
+		s.Hits, s.Misses, 100*s.HitRate(), s.BytesInUse, s.PeakBytes, s.Evictions)
+}

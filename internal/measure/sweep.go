@@ -32,6 +32,10 @@ type Series struct {
 	YLabel string
 	// Points holds the sweep samples in X order.
 	Points []Point
+	// Cache reports the invariant-prefix stage cache's hit/miss/byte
+	// statistics for the sweep run that produced the series (zero when the
+	// sweep ran without a cache).
+	Cache CacheStats
 }
 
 // Add appends a point, keeping the series sorted by X.

@@ -106,10 +106,26 @@ func NewTransmitter(rateMbps int) (*Transmitter, error) {
 	return &Transmitter{Mode: mode, ScramblerSeed: 0x5D}, nil
 }
 
-// Transmit assembles the complete PPDU waveform for the given PSDU.
+// Transmit assembles the complete PPDU waveform for the given PSDU. The
+// returned Frame owns freshly allocated Samples and PSDU buffers.
 func (t *Transmitter) Transmit(psdu []byte) (*Frame, error) {
+	f := &Frame{PSDU: append([]byte(nil), psdu...)}
+	if err := t.TransmitInto(f, f.PSDU); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// TransmitInto assembles the complete PPDU waveform for the given PSDU into
+// f, reusing f's Samples capacity across calls (the zero Frame works and
+// grows on demand). f.PSDU is set to psdu — aliased, not copied — so the
+// caller owns the payload buffer; all other Frame fields are overwritten.
+// A long-lived (Transmitter, Frame) pair therefore transmits without any
+// per-packet allocation once the buffers have grown to the scenario's frame
+// length.
+func (t *Transmitter) TransmitInto(f *Frame, psdu []byte) error {
 	if len(psdu) < 1 || len(psdu) > 4095 {
-		return nil, fmt.Errorf("phy: PSDU length %d outside 1..4095 octets", len(psdu))
+		return fmt.Errorf("phy: PSDU length %d outside 1..4095 octets", len(psdu))
 	}
 	seed := t.ScramblerSeed
 	if seed == 0 {
@@ -145,24 +161,28 @@ func (t *Transmitter) Transmit(psdu []byte) (*Frame, error) {
 	t.coded = ConvolutionalEncodeAppend(t.coded[:0], scrambled)
 	punct, err := PunctureAppend(t.punct[:0], t.coded, t.Mode.CodeRate)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	t.punct = punct
 	ncbps := t.Mode.NCBPS()
 	if len(punct) != nSym*ncbps {
-		return nil, fmt.Errorf("phy: internal error: %d coded bits for %d symbols of %d",
+		return fmt.Errorf("phy: internal error: %d coded bits for %d symbols of %d",
 			len(punct), nSym, ncbps)
 	}
 
 	if t.sig == nil || t.sigRate != t.Mode.RateBits || t.sigLen != len(psdu) {
 		sig, err := EncodeSignal(t.Mode, len(psdu))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t.sig, t.sigRate, t.sigLen = sig, t.Mode.RateBits, len(psdu)
 	}
 
-	samples := make([]complex128, 0, PreambleLen+(1+nSym)*SymbolLen)
+	need := PreambleLen + (1+nSym)*SymbolLen
+	if cap(f.Samples) < need {
+		f.Samples = make([]complex128, 0, need)
+	}
+	samples := f.Samples[:0]
 	samples = append(samples, cachedPreamble()...)
 	samples = append(samples, t.sig...)
 
@@ -170,32 +190,31 @@ func (t *Transmitter) Transmit(psdu []byte) (*Frame, error) {
 		block := punct[n*ncbps : (n+1)*ncbps]
 		inter, err := InterleaveInto(t.inter, block, t.Mode)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t.inter = inter
 		syms, err := MapBitsInto(t.syms, inter, t.Mode.Modulation)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t.syms = syms
 		spec, err := AssembleSpectrumInto(t.spec, syms, n+1) // data symbols use p_1...
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t.spec = spec
 		samples, err = ModulateSymbolAppend(samples, spec)
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
 
-	return &Frame{
-		Mode:           t.Mode,
-		PSDU:           append([]byte(nil), psdu...),
-		NumDataSymbols: nSym,
-		ScramblerSeed:  seed,
-		Samples:        samples,
-	}, nil
+	f.Mode = t.Mode
+	f.PSDU = psdu
+	f.NumDataSymbols = nSym
+	f.ScramblerSeed = seed
+	f.Samples = samples
+	return nil
 }
 
 // PacketDecoder carries the reusable scratch of the bit-level receive

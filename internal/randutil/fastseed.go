@@ -1,0 +1,88 @@
+package randutil
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// fibSource is a drop-in replacement for math/rand's unexported rngSource:
+// the same additive lagged-Fibonacci generator over a 607-entry register,
+// stepping bit-identically, but constructed by copying a cached post-seeding
+// register snapshot instead of re-running the seeding procedure (which walks
+// the full register through a multiplicative generator and dominates
+// rand.NewSource at ~tens of microseconds). The field layout mirrors
+// sourceState exactly so Restarter's snapshot/restore path applies to it
+// unchanged.
+type fibSource struct {
+	tap  int
+	feed int
+	vec  [rngLen]int64
+}
+
+// Uint64 replicates rngSource.Uint64: decrement both register walkers and
+// feed the sum back. Signed overflow wraps, as in the original.
+func (s *fibSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += rngLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += rngLen
+	}
+	x := s.vec[s.feed] + s.vec[s.tap]
+	s.vec[s.feed] = x
+	return uint64(x)
+}
+
+// Int63 replicates rngSource.Int63: the full step with the sign bit masked.
+func (s *fibSource) Int63() int64 {
+	return int64(s.Uint64() &^ (1 << 63))
+}
+
+// Seed restores the cached post-seeding register for seed, bit-identical to
+// rngSource.Seed.
+func (s *fibSource) Seed(seed int64) {
+	st := snapshotFor(seed)
+	if st == nil {
+		// Unreachable by construction: a fibSource is only built after the
+		// layout probe succeeded once, and snapshots persist for the process.
+		panic("randutil: rngSource layout probe regressed after construction")
+	}
+	s.tap, s.feed, s.vec = st.tap, st.feed, st.vec
+}
+
+// seedSnapshots caches the post-seeding register per seed value. Entries are
+// immutable once stored and live for the process; at ~5 KB each, callers
+// should reserve NewRand for small fixed seed sets.
+var seedSnapshots sync.Map // int64 -> *sourceState
+
+// snapshotFor returns the post-seeding generator state for seed, seeding a
+// throwaway math/rand source on first use. It returns nil when the runtime's
+// rngSource layout does not match (the unsafe view is unavailable).
+func snapshotFor(seed int64) *sourceState {
+	if v, ok := seedSnapshots.Load(seed); ok {
+		return v.(*sourceState)
+	}
+	src := sourceStateOf(rand.New(rand.NewSource(seed)))
+	if src == nil {
+		return nil
+	}
+	cp := *src
+	v, _ := seedSnapshots.LoadOrStore(seed, &cp)
+	return v.(*sourceState)
+}
+
+// NewRand returns a generator seeded with seed whose every stream is
+// bit-identical to rand.New(rand.NewSource(seed)). The post-seeding register
+// is cached per seed value, so repeated constructions with the same seed —
+// the RF blocks' fixed noise seeds, rebuilt for every sweep point — cost a
+// register copy instead of math/rand's full seeding pass. Each distinct seed
+// pins a ~5 KB snapshot for the process lifetime, so thread per-run derived
+// seeds through rand.NewSource directly and keep NewRand for fixed seeds.
+func NewRand(seed int64) *rand.Rand {
+	if st := snapshotFor(seed); st != nil {
+		return rand.New(&fibSource{tap: st.tap, feed: st.feed, vec: st.vec})
+	}
+	return rand.New(rand.NewSource(seed))
+}

@@ -35,6 +35,15 @@ type AGC struct {
 	alpha   float64
 	attack  float64 // fraction of the (negative) dB error applied per sample
 	release float64 // dB per dB of positive error per sample
+
+	// Hot-loop derivatives of the state above, maintained so ProcessSample
+	// avoids a Pow per sample (gain) and a Log10 per sample while either
+	// slew clamp is active.
+	gainLin   float64 // DBToVoltageGain(gainDB), tracked incrementally
+	invTarget float64 // 1 / target power in watts
+	uAttack   float64 // est/target ratio beyond which the attack slew clamps
+	uRelease  float64 // est/target ratio below which the release slew clamps
+	resync    int     // incremental gain updates since the last exact one
 }
 
 // NewAGC builds the loop.
@@ -56,8 +65,34 @@ func NewAGC(cfg AGCConfig) (*AGC, error) {
 		a.alpha = 0.5
 	}
 	a.est = units.DBmToWatts(cfg.TargetDBm)
+	a.gainLin = units.DBToVoltageGain(a.gainDB)
+	a.invTarget = 1 / units.DBmToWatts(cfg.TargetDBm)
+	// The slew clamps kick in at fixed error magnitudes; precompute the
+	// equivalent est/target power ratios so the clamped regimes need no
+	// logarithm: attack clamps at errDB <= -attackClampDB/attack, release at
+	// errDB >= releaseClampDB/release.
+	a.uAttack = math.Pow(10, attackClampDB/(10*a.attack))
+	a.uRelease = math.Pow(10, -releaseClampDB/(10*a.release))
 	return a, nil
 }
+
+// attackClampDB and releaseClampDB bound the per-sample gain slew in dB.
+const (
+	attackClampDB  = 1.5
+	releaseClampDB = 0.01
+)
+
+// lnTenOver20 converts a dB step to a natural-log voltage-gain exponent:
+// 10^(dB/20) = e^(dB*lnTenOver20).
+const lnTenOver20 = math.Ln10 / 20
+
+// tenOverLn10 converts a natural log of a power ratio to dB.
+const tenOverLn10 = 10 / math.Ln10
+
+// agcResyncInterval is how many incremental linear-gain updates the loop
+// applies before recomputing the gain exactly from its dB value, bounding
+// series-truncation drift.
+const agcResyncInterval = 256
 
 func clamp(v, lo, hi float64) float64 {
 	if v < lo {
@@ -78,47 +113,142 @@ func (a *AGC) SetFreeze(f bool) { a.cfg.Freeze = f }
 // Reset restores the initial gain and estimator.
 func (a *AGC) Reset() {
 	a.gainDB = clamp(a.cfg.InitialGainDB, a.cfg.MinGainDB, a.cfg.MaxGainDB)
+	a.gainLin = units.DBToVoltageGain(a.gainDB)
 	a.est = units.DBmToWatts(a.cfg.TargetDBm)
 }
 
 // ProcessSample amplifies one sample and updates the loop.
+//
+// The loop logic is the classical dB-domain control law, but the hot path
+// works from cached derivatives: the linear gain is recomputed only when the
+// gain actually moves, and the error logarithm is skipped entirely while a
+// slew clamp is active (the step is then the clamp constant regardless of
+// the error magnitude, tested against the precomputed power ratios).
 func (a *AGC) ProcessSample(x complex128) complex128 {
-	g := units.DBToVoltageGain(a.gainDB)
-	y := x * complex(g, 0)
+	y := complex(a.gainLin*real(x), a.gainLin*imag(x))
 	if !a.cfg.Freeze {
 		p := real(y)*real(y) + imag(y)*imag(y)
 		a.est += a.alpha * (p - a.est)
 		if a.est > 0 {
-			errDB := a.cfg.TargetDBm - units.WattsToDBm(a.est)
+			u := a.est * a.invTarget // output power as a ratio of the target
 			var step float64
-			if errDB < 0 {
-				// Output too hot: fast attack, bounded slew.
-				step = a.attack * errDB
-				if step < -1.5 {
-					step = -1.5
-				}
-			} else {
-				// Output too quiet: creep up slowly. The release slew is
-				// capped far below the attack so idle-channel gain ramps
-				// stay gentle (a fast release would turn the residual DC
-				// offset into a correlated ramp that confuses packet
+			switch {
+			case u >= a.uAttack:
+				// Output far too hot: the attack slew bound applies.
+				step = -attackClampDB
+			case u <= a.uRelease:
+				// Output far too quiet: creep up at the release slew cap.
+				// The cap sits far below the attack so idle-channel gain
+				// ramps stay gentle (a fast release would turn the residual
+				// DC offset into a correlated ramp that confuses packet
 				// detection downstream).
-				step = a.release * errDB
-				if step > 0.01 {
-					step = 0.01
+				step = releaseClampDB
+			default:
+				// Unclamped regime: the step needs the actual error
+				// magnitude. Near lock (u close to 1, where the loop spends
+				// most samples) the direct series applies; further out the
+				// range-reduced series takes over — either way, no library
+				// logarithm in the loop.
+				var errDB float64
+				if u > 0.5 && u < 2 {
+					errDB = -tenOverLn10 * lnNear1(u)
+				} else {
+					errDB = -tenOverLn10 * lnWide(u)
+				}
+				if errDB < 0 {
+					step = a.attack * errDB
+				} else {
+					step = a.release * errDB
 				}
 			}
-			a.gainDB = clamp(a.gainDB+step, a.cfg.MinGainDB, a.cfg.MaxGainDB)
+			g := clamp(a.gainDB+step, a.cfg.MinGainDB, a.cfg.MaxGainDB)
+			//lint:ignore floateq exact no-movement check: skips the gain update only when the clamp returned the identical value, any tolerance would freeze small steps
+			if g != a.gainDB {
+				d := g - a.gainDB
+				a.gainDB = g
+				a.resync++
+				if a.resync >= agcResyncInterval || d > 2 || d < -2 {
+					a.gainLin = units.DBToVoltageGain(g)
+					a.resync = 0
+				} else {
+					a.gainLin *= expSmall(d * lnTenOver20)
+				}
+			}
 		}
 	}
 	return y
 }
 
-// Process amplifies a frame in place and returns it.
+// Process amplifies a frame in place and returns it. The loop body performs
+// exactly the arithmetic of ProcessSample, but keeps the loop state (gain,
+// power estimate, resync counter) in locals across the frame — the AGC runs
+// at the composite oversampled rate, making this the receiver's longest
+// per-sample loop.
 func (a *AGC) Process(x []complex128) []complex128 {
-	for i, v := range x {
-		x[i] = a.ProcessSample(v)
+	if a.cfg.Freeze {
+		g := a.gainLin
+		for i, v := range x {
+			x[i] = complex(g*real(v), g*imag(v))
+		}
+		return x
 	}
+	var (
+		gainLin = a.gainLin
+		gainDB  = a.gainDB
+		est     = a.est
+		resync  = a.resync
+		alpha   = a.alpha
+		invT    = a.invTarget
+		uAtt    = a.uAttack
+		uRel    = a.uRelease
+		attack  = a.attack
+		release = a.release
+		minG    = a.cfg.MinGainDB
+		maxG    = a.cfg.MaxGainDB
+	)
+	for i, v := range x {
+		yr := gainLin * real(v)
+		yi := gainLin * imag(v)
+		x[i] = complex(yr, yi)
+		p := yr*yr + yi*yi
+		est += alpha * (p - est)
+		if est > 0 {
+			u := est * invT
+			var step float64
+			switch {
+			case u >= uAtt:
+				step = -attackClampDB
+			case u <= uRel:
+				step = releaseClampDB
+			default:
+				var errDB float64
+				if u > 0.5 && u < 2 {
+					errDB = -tenOverLn10 * lnNear1(u)
+				} else {
+					errDB = -tenOverLn10 * lnWide(u)
+				}
+				if errDB < 0 {
+					step = attack * errDB
+				} else {
+					step = release * errDB
+				}
+			}
+			g := clamp(gainDB+step, minG, maxG)
+			//lint:ignore floateq exact no-movement check: skips the gain update only when the clamp returned the identical value, any tolerance would freeze small steps
+			if g != gainDB {
+				d := g - gainDB
+				gainDB = g
+				resync++
+				if resync >= agcResyncInterval || d > 2 || d < -2 {
+					gainLin = units.DBToVoltageGain(g)
+					resync = 0
+				} else {
+					gainLin *= expSmall(d * lnTenOver20)
+				}
+			}
+		}
+	}
+	a.gainLin, a.gainDB, a.est, a.resync = gainLin, gainDB, est, resync
 	return x
 }
 

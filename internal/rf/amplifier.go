@@ -140,7 +140,10 @@ func NewAmplifier(cfg AmplifierConfig) (*Amplifier, error) {
 		f := units.DBToLinear(cfg.NoiseFigureDB)
 		np := units.Boltzmann * units.RoomTemperature * cfg.SampleRateHz * (f - 1)
 		a.nsig = math.Sqrt(np / 2)
-		a.noise = rand.New(rand.NewSource(cfg.NoiseSeed))
+		// The noise seed is a fixed per-block constant, so the snapshot-cached
+		// constructor avoids re-running math/rand's seeding pass every time a
+		// sweep point rebuilds the receiver.
+		a.noise = randutil.NewRand(cfg.NoiseSeed)
 		a.nrst = randutil.New(a.noise, cfg.NoiseSeed)
 	}
 	return a, nil

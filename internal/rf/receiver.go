@@ -198,13 +198,33 @@ func (r *Receiver) Cascade() (CascadeResult, error) {
 // the 20 MHz baseband output. The input slice is modified in place up to the
 // decimation stage, and the returned slice is owned by the receiver (reused
 // by the next Process call).
+//
+// Process is exactly ProcessToFilter followed by ProcessFromFilter: every
+// block consumes the whole frame before the next one runs, so the chain can
+// be split at any block boundary without changing a single output sample.
 func (r *Receiver) Process(x []complex128) []complex128 {
+	return r.ProcessFromFilter(r.ProcessToFilter(x))
+}
+
+// ProcessToFilter runs the line-up strictly upstream of the channel-select
+// filter — LNA, first mixer, inter-stage DC block, second mixer — in place
+// and returns x. Sweep harnesses whose swept parameter only affects the
+// channel filter or later blocks (e.g. the Fig. 5 passband-edge sweep) cache
+// this invariant, deterministic prefix per packet and replay only
+// ProcessFromFilter per sweep point. Call Reset first, as with Process.
+func (r *Receiver) ProcessToFilter(x []complex128) []complex128 {
 	x = r.lna.Process(x)
 	x = r.mixer1.Process(x)
 	if r.dcBlock != nil {
 		x = r.dcBlock.Process(x)
 	}
-	x = r.mixer2.Process(x)
+	return r.mixer2.Process(x)
+}
+
+// ProcessFromFilter runs the remainder of the chain — channel-select filter,
+// AGC, ADC and decimation — on a waveform produced by ProcessToFilter. The
+// returned slice is owned by the receiver (reused by the next call).
+func (r *Receiver) ProcessFromFilter(x []complex128) []complex128 {
 	if r.chanSel != nil {
 		x = r.chanSel.Process(x)
 	}

@@ -91,17 +91,18 @@ func (d *Detector) Detect(x []complex128, from int) (DetectResult, error) {
 	var accC complex128
 	floor := math.Inf(1) // decaying minimum tracker of the idle energy
 	limit := len(x) - need
+	thr2 := threshold * threshold
 	for n := from; n <= limit; n++ {
 		if e < floor {
 			floor = e
 		} else {
 			floor *= 1.0005 // let the floor recover slowly
 		}
-		m := 0.0
-		if e > 1e-30 {
-			m = cmplx.Abs(c) / e
-		}
-		if m > threshold && (rise <= 1 || e > rise*floor) {
+		// The threshold test |c|/e > threshold is evaluated on squares so the
+		// scan pays no square root or division per sample; the actual metric
+		// is only materialized on the return path.
+		above := e > 1e-30 && abs2(c) > thr2*e*e
+		if above && (rise <= 1 || e > rise*floor) {
 			if run == 0 {
 				runStart = n
 				accC = 0
@@ -110,6 +111,7 @@ func (d *Detector) Detect(x []complex128, from int) (DetectResult, error) {
 			accC += c
 			if run >= plateau {
 				cfo := -cmplx.Phase(accC) / (2 * math.Pi * shortLag)
+				m := math.Sqrt(abs2(c)) / e
 				return DetectResult{StartIndex: runStart, CoarseCFO: cfo, Metric: m}, nil
 			}
 		} else {

@@ -194,7 +194,8 @@ type PacketResult struct {
 // carries reusable scratch buffers, so reusing one Receiver across packets
 // reaches a near-zero-allocation steady state. Each PacketResult it returns
 // owns its PSDU and EqualizedCarriers and remains valid across subsequent
-// Receive calls. A Receiver must not be shared between goroutines.
+// Receive calls — unless ReuseBuffers is set. A Receiver must not be shared
+// between goroutines.
 type Receiver struct {
 	// Detector configures packet detection.
 	Detector *Detector
@@ -213,6 +214,12 @@ type Receiver struct {
 	// mixer's self-mixing DC offset otherwise autocorrelates perfectly at
 	// the short-preamble lag and fakes a detection plateau.
 	DisableDCRemoval bool
+	// ReuseBuffers makes Receive reuse the PacketResult and the equalized-
+	// carrier backing store across calls instead of allocating them fresh
+	// per packet. The returned result (including EqualizedCarriers) is then
+	// only valid until the next Receive call — opt in only when each packet
+	// is fully consumed before the next is received.
+	ReuseBuffers bool
 
 	// Reusable scratch; see Reset.
 	notch   *dsp.IIR
@@ -221,11 +228,14 @@ type Receiver struct {
 	ce      chanEstimator
 	est     ChannelEstimate
 	q       eqScratch
-	sigData []complex128
-	sigCSI  []float64
-	csiBack []float64
-	csis    [][]float64
-	dec     *phy.PacketDecoder
+	sigData  []complex128
+	sigCSI   []float64
+	csiBack  []float64
+	csis     [][]float64
+	carrBack []complex128
+	carriers [][]complex128
+	res      PacketResult
+	dec      *phy.PacketDecoder
 }
 
 // NewReceiver returns a receiver with default settings.
@@ -342,10 +352,24 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 	}
 
 	// The equalized carriers escape into the PacketResult, so their backing
-	// is allocated fresh per packet; the CSI weights stay internal and reuse
-	// the receiver's scratch.
-	carrBack := make([]complex128, nSym*phy.NumDataCarriers)
-	carriers := make([][]complex128, nSym)
+	// is allocated fresh per packet unless the caller opted into
+	// ReuseBuffers; the CSI weights stay internal and always reuse the
+	// receiver's scratch.
+	var carrBack []complex128
+	var carriers [][]complex128
+	if r.ReuseBuffers {
+		if cap(r.carrBack) < nSym*phy.NumDataCarriers {
+			r.carrBack = make([]complex128, nSym*phy.NumDataCarriers)
+		}
+		if cap(r.carriers) < nSym {
+			r.carriers = make([][]complex128, nSym)
+		}
+		carrBack = r.carrBack[:nSym*phy.NumDataCarriers]
+		carriers = r.carriers[:nSym]
+	} else {
+		carrBack = make([]complex128, nSym*phy.NumDataCarriers)
+		carriers = make([][]complex128, nSym)
+	}
 	if cap(r.csiBack) < nSym*phy.NumDataCarriers {
 		r.csiBack = make([]float64, nSym*phy.NumDataCarriers)
 	}
@@ -374,7 +398,11 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &PacketResult{
+	out := &PacketResult{}
+	if r.ReuseBuffers {
+		out = &r.res
+	}
+	*out = PacketResult{
 		PSDU:              psdu,
 		Signal:            sf,
 		Detection:         d,
@@ -383,25 +411,34 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 		EqualizedCarriers: carriers,
 		LinkSNRdB:         linkSNR,
 		EndIndex:          d.StartIndex + dataStart + nSym*phy.SymbolLen,
-	}, nil
+	}
+	return out, nil
 }
 
 // IdealReceiver decodes a frame with genie knowledge of its exact start
 // index, mode and PSDU length, bypassing detection and synchronization. The
 // paper's EVM measurement (§5.2) used exactly this kind of ideal receiver
 // model. Like Receiver, it carries reusable scratch and must not be shared
-// between goroutines; each returned PacketResult owns its buffers.
+// between goroutines; each returned PacketResult owns its buffers unless
+// ReuseBuffers is set.
 type IdealReceiver struct {
 	// Mode and PSDULen describe the expected frame.
 	Mode    phy.Mode
 	PSDULen int
+	// ReuseBuffers makes Receive reuse the PacketResult and the equalized-
+	// carrier backing store across calls; the returned result is then only
+	// valid until the next Receive call.
+	ReuseBuffers bool
 
-	ce      chanEstimator
-	est     ChannelEstimate
-	q       eqScratch
-	csiBack []float64
-	csis    [][]float64
-	dec     *phy.PacketDecoder
+	ce       chanEstimator
+	est      ChannelEstimate
+	q        eqScratch
+	csiBack  []float64
+	csis     [][]float64
+	carrBack []complex128
+	carriers [][]complex128
+	res      PacketResult
+	dec      *phy.PacketDecoder
 }
 
 // Receive decodes the frame whose short preamble begins exactly at start.
@@ -429,8 +466,21 @@ func (r *IdealReceiver) Receive(x []complex128, start int) (*PacketResult, error
 	if dataStart+nSym*phy.SymbolLen > len(work) {
 		return nil, fmt.Errorf("rxdsp: truncated DATA field")
 	}
-	carrBack := make([]complex128, nSym*phy.NumDataCarriers)
-	carriers := make([][]complex128, nSym)
+	var carrBack []complex128
+	var carriers [][]complex128
+	if r.ReuseBuffers {
+		if cap(r.carrBack) < nSym*phy.NumDataCarriers {
+			r.carrBack = make([]complex128, nSym*phy.NumDataCarriers)
+		}
+		if cap(r.carriers) < nSym {
+			r.carriers = make([][]complex128, nSym)
+		}
+		carrBack = r.carrBack[:nSym*phy.NumDataCarriers]
+		carriers = r.carriers[:nSym]
+	} else {
+		carrBack = make([]complex128, nSym*phy.NumDataCarriers)
+		carriers = make([][]complex128, nSym)
+	}
 	if cap(r.csiBack) < nSym*phy.NumDataCarriers {
 		r.csiBack = make([]float64, nSym*phy.NumDataCarriers)
 	}
@@ -453,11 +503,16 @@ func (r *IdealReceiver) Receive(x []complex128, start int) (*PacketResult, error
 	if err != nil {
 		return nil, err
 	}
-	return &PacketResult{
+	out := &PacketResult{}
+	if r.ReuseBuffers {
+		out = &r.res
+	}
+	*out = PacketResult{
 		PSDU:              psdu,
 		Signal:            phy.SignalField{Mode: r.Mode, Length: r.PSDULen},
 		T1Index:           start + t1,
 		EqualizedCarriers: carriers,
 		EndIndex:          start + dataStart + nSym*phy.SymbolLen,
-	}, nil
+	}
+	return out, nil
 }

@@ -36,12 +36,15 @@ func Derive(root int64, labels ...uint64) int64 {
 	return int64(s)
 }
 
-// Domain-separation labels keep the per-point and per-packet derivation
-// trees disjoint even when their numeric labels coincide.
+// Domain-separation labels keep the per-point, per-packet, per-stage and
+// content-key derivation trees disjoint even when their numeric labels
+// coincide.
 const (
-	domainPoint  uint64 = 0x706F696E74 // "point"
-	domainPacket uint64 = 0x70616B6574 // "paket"
-	domainSeries uint64 = 0x7365726965 // "serie"
+	domainPoint   uint64 = 0x706F696E74 // "point"
+	domainPacket  uint64 = 0x70616B6574 // "paket"
+	domainSeries  uint64 = 0x7365726965 // "serie"
+	domainStage   uint64 = 0x7374616765 // "stage"
+	domainContent uint64 = 0x636F6E7465 // "conte"
 )
 
 // ForPoint derives the seed of one sweep point from the sweep's root seed
@@ -65,4 +68,25 @@ func ForPacket(root int64, packet int) int64 {
 // figure draw independent noise.
 func ForSeries(root int64, label uint64) int64 {
 	return Derive(root, domainSeries, label)
+}
+
+// ForStage derives the seed of one pipeline stage of one packet. Seeding each
+// stage of each packet independently (instead of advancing one sequential
+// stream through the whole chain) makes a stage's realization a pure function
+// of (root, stage, packet): a cached stage output computed by whichever sweep
+// point gets there first is bit-identical to what any other point would have
+// computed, regardless of execution order or of which stages ran before it.
+func ForStage(root int64, stage int, packet int) int64 {
+	return Derive(root, domainStage, uint64(stage), uint64(packet))
+}
+
+// ContentKey folds an ordered sequence of labels describing simulation
+// content (configuration fields, stage identity, packet index) into a stable
+// 64-bit key for content-addressed caching. It lives in the same SplitMix64
+// hierarchy as the seeds but under its own domain, so keys never collide with
+// seed values. Callers must label invariant configuration only — never the
+// swept parameter's float bits — so one sweep's points agree on the key of
+// shared work.
+func ContentKey(root int64, labels ...uint64) uint64 {
+	return uint64(Derive(root, append([]uint64{domainContent}, labels...)...))
 }

@@ -56,10 +56,70 @@ go test -run 'AllocFree|TestFIRProcessSteadyStateAllocs|TestRestartAllocs' -coun
     ./internal/phy ./internal/phy/viterbi ./internal/dsp ./internal/randutil
 
 echo "==> benchmark smoke (1 iteration per scenario)"
-go test -run '^$' -bench 'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkPacketIdeal24' -benchtime 1x ./internal/core > /dev/null
+go test -run '^$' -bench 'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkSweepFilterBW|BenchmarkPacketIdeal24' -benchtime 1x ./internal/core > /dev/null
 go test -run '^$' -bench 'BenchmarkDecodeSoft' -benchtime 1x ./internal/phy/viterbi > /dev/null
 go test -run '^$' -bench 'BenchmarkFIRProcess|BenchmarkComplexFIRProcess|BenchmarkFFT|BenchmarkDFT' -benchtime 1x ./internal/dsp > /dev/null
 go test -run '^$' -bench 'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol' -benchtime 1x ./internal/phy > /dev/null
+
+# Benchmark regression gate. Re-measures the tracked packet/sweep scenarios
+# and compares each one's best-observed ns/op (benchstat compares
+# distributions; taking the minimum is the shell-portable analogue that
+# discards scheduler noise) against the numbers recorded in BENCH_4.json,
+# failing on a regression beyond the slack. A first failure triggers one
+# escalation round with longer runs — on a shared machine a transient
+# co-tenant load spike is far more common than a real regression, and the
+# minimum over the merged samples converges on the true cost. Tune with:
+#   CHECK_BENCH_TIME       go test -benchtime of the first round (default 10x)
+#   CHECK_BENCH_SLACK_PCT  allowed regression in percent (default 10)
+bench_ref="BENCH_4.json"
+echo "==> benchmark regression gate (vs $bench_ref, >${CHECK_BENCH_SLACK_PCT:-10}% fails)"
+if [ -f "$bench_ref" ]; then
+    bench_raw="$(mktemp)"
+    bench_round() {
+        go test -run '^$' -bench 'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkSweepFilterBW|BenchmarkPacketIdeal24' \
+            -benchtime "$1" -count 3 ./internal/core >> "$bench_raw"
+        awk -v slack="${CHECK_BENCH_SLACK_PCT:-10}" -v ref="$bench_ref" '
+        BEGIN {
+            while ((getline line < ref) > 0) {
+                if (match(line, /"name": "[^"]+"/)) {
+                    name = substr(line, RSTART + 9, RLENGTH - 10)
+                    if (match(line, /"ns_per_op": [0-9.]+/))
+                        want[name] = substr(line, RSTART + 13, RLENGTH - 13) + 0
+                }
+            }
+            close(ref)
+        }
+        /^Benchmark/ {
+            name = $1
+            sub(/-[0-9]+$/, "", name) # strip the GOMAXPROCS suffix
+            ns = $3 + 0
+            if (!(name in best) || ns < best[name]) best[name] = ns
+        }
+        END {
+            fail = 0
+            for (name in best) {
+                if (!(name in want)) continue
+                limit = want[name] * (1 + slack / 100)
+                verdict = "ok"
+                if (best[name] > limit) { verdict = "REGRESSED"; fail = 1 }
+                printf "    %-28s best %12.0f ns/op  recorded %12.0f  limit %12.0f  %s\n", \
+                    name, best[name], want[name], limit, verdict
+            }
+            exit fail
+        }' "$bench_raw"
+    }
+    if ! bench_round "${CHECK_BENCH_TIME:-10x}"; then
+        echo "    regression suspected; escalating with longer runs to rule out machine noise"
+        if ! bench_round 30x; then
+            rm -f "$bench_raw"
+            echo "FAIL: tracked benchmark regressed more than ${CHECK_BENCH_SLACK_PCT:-10}% vs $bench_ref" >&2
+            exit 1
+        fi
+    fi
+    rm -f "$bench_raw"
+else
+    echo "    $bench_ref not found; skipping (run scripts/bench.sh first)"
+fi
 
 # Short fuzz runs on top of the seed-corpus replay that `go test` already
 # performs. `go test -fuzz` accepts one target per invocation.
@@ -67,4 +127,4 @@ echo "==> go test -fuzz (5s per target)"
 go test -run '^$' -fuzz '^FuzzScramblerRoundTrip$' -fuzztime 5s ./internal/phy
 go test -run '^$' -fuzz '^FuzzInterleaverRoundTrip$' -fuzztime 5s ./internal/phy
 
-echo "OK: build, vet, wlanlint, race tests, coverage floors, alloc gates, bench smoke and fuzz all clean"
+echo "OK: build, vet, wlanlint, race tests, coverage floors, alloc gates, bench smoke, regression gate and fuzz all clean"

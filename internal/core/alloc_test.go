@@ -4,12 +4,12 @@ import "testing"
 
 // packetRunAllocBudget is the steady-state allocation budget for one
 // behavioral packet simulation (one Bench.Run with warm buffers). The real
-// figure is ~18–21 objects — receiver result assembly and a handful of
+// figure is ~14–17 objects — receiver result assembly and a handful of
 // unavoidable interface boxes — and, critically, it must not scale with the
 // symbol count: 6 Mbit/s sends ~4x the OFDM symbols of 54 Mbit/s, so a
 // per-symbol allocation shows up as a rate-dependent blow-up long before it
 // trips the shared budget.
-const packetRunAllocBudget = 40
+const packetRunAllocBudget = 24
 
 // TestPacketRunAllocBounded gates every rate's packet hot path under one
 // shared AllocsPerRun budget. Before the TransmitInto/ReuseBuffers work the

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+
+	"wlansim/internal/kernels"
 )
 
 // ComplexFIR is a finite-impulse-response filter with complex coefficients
@@ -18,6 +20,9 @@ type ComplexFIR struct {
 	hist []complex128 // last len(taps)-1 inputs, oldest first
 	ext  []complex128 // frame scratch: history prefix + inputs
 	ols  *olsConv     // lazily built FFT path for long tap sets
+
+	tapsV      kernels.Vec // planar taps, split once at construction
+	extV, outV kernels.Vec // planar frame views for the direct path
 }
 
 // NewComplexFIR builds a streaming filter from complex taps.
@@ -27,7 +32,9 @@ func NewComplexFIR(taps []complex128) (*ComplexFIR, error) {
 	}
 	t := make([]complex128, len(taps))
 	copy(t, taps)
-	return &ComplexFIR{taps: t, hist: make([]complex128, len(taps)-1)}, nil
+	f := &ComplexFIR{taps: t, hist: make([]complex128, len(taps)-1)}
+	f.tapsV.From(t)
+	return f, nil
 }
 
 // Taps returns a copy of the coefficients.
@@ -85,18 +92,15 @@ func (f *ComplexFIR) Process(x []complex128) []complex128 {
 		}
 		f.ols.process(x, ext)
 	} else {
-		taps := f.taps
-		last := len(taps) - 1
-		for i := range x {
-			// win[last] is the newest sample; accumulate newest to
-			// oldest (taps[0] first) like the per-sample form.
-			win := ext[i : i+len(taps)]
-			var acc complex128
-			for j, t := range taps {
-				acc += win[last-j] * t
-			}
-			x[i] = acc
-		}
+		// Planar direct path: one transpose per frame, then the unrolled
+		// split-complex kernel. Per output the kernel accumulates newest to
+		// oldest (taps[0] first) with each product lowered exactly like
+		// Go's complex128 multiply, so outputs match the per-sample form
+		// bit for bit.
+		f.extV.From(ext)
+		f.outV.Grow(len(x))
+		kernels.FIRCplx(f.outV.Re, f.outV.Im, f.extV.Re, f.extV.Im, f.tapsV.Re, f.tapsV.Im)
+		f.outV.CopyTo(x)
 	}
 	copy(f.hist, ext[len(ext)-p:])
 	return x

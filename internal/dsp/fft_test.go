@@ -52,18 +52,20 @@ func TestFFTMatchesDFT(t *testing.T) {
 	}
 }
 
-// TestDFTRoutingEquivalence pins DFT's routing boundary: power-of-two
+// TestDFTRoutingEquivalence pins DFT's routing boundaries: power-of-two
 // lengths take the FFT plan cache and must agree with the direct oracle to
-// float rounding; every other length takes the direct path and must agree
-// with the oracle bit-exactly. The sizes bracket the boundary (n and n±1) so
-// a routing-predicate regression cannot hide.
+// float rounding; non-powers of two at least bluesteinMinSize take the
+// chirp-z path (same tolerance); smaller lengths take the direct path and
+// must agree with the oracle bit-exactly. The sizes bracket both boundaries
+// (n and n±1) so a routing-predicate regression cannot hide.
 func TestDFTRoutingEquivalence(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
-	for _, n := range []int{1, 2, 3, 4, 5, 63, 64, 65, 255, 256, 257, 1023, 1024} {
+	for _, n := range []int{1, 2, 3, 4, 5, 31, 32, 33, 63, 64, 65, 255, 256, 257, 1023, 1024} {
 		x := randomSignal(r, n)
 		got := DFT(x)
 		want := dftDirect(x)
-		if n&(n-1) == 0 {
+		switch {
+		case n&(n-1) == 0:
 			if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
 				t.Errorf("n=%d (pow2, FFT-routed): differs from direct oracle by %g", n, d)
 			}
@@ -72,12 +74,52 @@ func TestDFTRoutingEquivalence(t *testing.T) {
 			if d := maxAbsDiff(got, FFT(x)); d != 0 {
 				t.Errorf("n=%d: DFT fast path differs from FFT by %g", n, d)
 			}
-		} else {
+		case n >= bluesteinMinSize:
+			if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+				t.Errorf("n=%d (chirp-z-routed): differs from direct oracle by %g", n, d)
+			}
+		default:
 			for i := range got {
 				if got[i] != want[i] {
 					t.Fatalf("n=%d (direct-routed): bin %d differs from oracle: %v vs %v", n, i, got[i], want[i])
 				}
 			}
+		}
+	}
+}
+
+// TestDFTBluesteinMatchesDirect sweeps awkward non-power-of-two lengths —
+// primes, prime powers, highly composite sizes, and the padding boundary
+// where 2n-1 just crosses a power of two — against the direct-summation
+// oracle.
+func TestDFTBluesteinMatchesDirect(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for _, n := range []int{32, 33, 37, 61, 81, 100, 127, 129, 255, 257, 343, 500, 509, 512 + 1, 719, 1000} {
+		x := randomSignal(r, n)
+		got := dftBluestein(x)
+		want := dftDirect(x)
+		if d := maxAbsDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: chirp-z differs from direct oracle by %g", n, d)
+		}
+	}
+	// The chirp-z path must also invert cleanly through the pow2 IFFT used
+	// in round-trip consumers: spectrum of a pure tone concentrates in one
+	// bin.
+	n := 257
+	x := make([]complex128, n)
+	for i := range x {
+		s, c := math.Sincos(2 * math.Pi * 17 * float64(i) / float64(n))
+		x[i] = complex(c, s)
+	}
+	fx := dftBluestein(x)
+	for k := range fx {
+		mag := cmplx.Abs(fx[k])
+		if k == 17 {
+			if math.Abs(mag-float64(n)) > 1e-8*float64(n) {
+				t.Errorf("tone bin magnitude %g, want %d", mag, n)
+			}
+		} else if mag > 1e-8*float64(n) {
+			t.Errorf("leakage %g in bin %d", mag, k)
 		}
 	}
 }

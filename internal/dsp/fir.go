@@ -3,6 +3,8 @@ package dsp
 import (
 	"fmt"
 	"math"
+
+	"wlansim/internal/kernels"
 )
 
 // FIR is a finite-impulse-response filter with real coefficients and
@@ -21,6 +23,10 @@ type FIR struct {
 	hist []complex128 // last len(taps)-1 inputs, oldest first
 	ext  []complex128 // frame scratch: history prefix + inputs
 	ols  *olsConv     // lazily built FFT path for long tap sets
+
+	// extV/outV are the planar views the direct path hands to the kernels
+	// layer; conversion happens once per frame at these boundaries.
+	extV, outV kernels.Vec
 }
 
 // NewFIR builds a streaming filter from the given tap coefficients
@@ -96,20 +102,13 @@ func (f *FIR) Process(x []complex128) []complex128 {
 		}
 		f.ols.process(x, ext)
 	} else {
-		taps := f.taps
-		last := len(taps) - 1
-		for i := range x {
-			// win[last] is the newest sample; accumulate newest to
-			// oldest (taps[0] first) like the per-sample form.
-			win := ext[i : i+len(taps)]
-			var re, im float64
-			for j, t := range taps {
-				v := win[last-j]
-				re += real(v) * t
-				im += imag(v) * t
-			}
-			x[i] = complex(re, im)
-		}
+		// Planar direct path: one transpose per frame, then the unrolled
+		// split-complex kernel. Per output the kernel accumulates newest to
+		// oldest (taps[0] first) like the per-sample form, bit-identically.
+		f.extV.From(ext)
+		f.outV.Grow(len(x))
+		kernels.FIRReal(f.outV.Re, f.outV.Im, f.extV.Re, f.extV.Im, f.taps)
+		f.outV.CopyTo(x)
 	}
 	copy(f.hist, ext[len(ext)-p:])
 	return x

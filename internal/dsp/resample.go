@@ -180,9 +180,19 @@ func NewOscillator(nu, phase float64) *Oscillator {
 func (o *Oscillator) Next() complex128 {
 	v := o.state
 	o.state *= o.step
-	// Renormalize occasionally to counter numeric drift.
-	if m := cmplx.Abs(o.state); m < 0.999999 || m > 1.000001 {
-		o.state /= complex(m, 0)
+	// Renormalize occasionally to counter numeric drift. The squared
+	// magnitude screens out the per-sample hypot: with s within
+	// (0.9999985, 1.0000015), sqrt(s) — and the correctly-rounded
+	// cmplx.Abs, at most a few ulps away — is strictly inside the
+	// (0.999999, 1.000001) no-renormalization band (the squared bounds are
+	// 0.999998..., 1.000002...), so the old path would leave the state
+	// untouched and skipping it is bit-exact. The band is ~7e-7 wide per
+	// side, nine orders above the comparison's rounding error.
+	re, im := real(o.state), imag(o.state)
+	if s := re*re + im*im; s < 0.9999985 || s > 1.0000015 {
+		if m := cmplx.Abs(o.state); m < 0.999999 || m > 1.000001 {
+			o.state /= complex(m, 0)
+		}
 	}
 	return v
 }

@@ -1,0 +1,123 @@
+package kernels
+
+import "math"
+
+//go:generate sh -c "go run ./gen > acs_gen.go"
+
+// The 802.11a rate-1/2 mother code: constraint length 7, generators 133/171
+// octal. The add-compare-select step iterates over target states; target s
+// has the two predecessors p(r) = ((s<<1)|r)&63, both transitions shifting
+// in input bit s>>5. The branch outputs depend only on the 7-bit register
+// (s>>5)<<6 | p(r), so they collapse into per-edge sign selectors indexed by
+// (s<<1)|r.
+const (
+	acsConstraint = 7
+	// ACSStates is the trellis state count (64) shared with the decoder.
+	ACSStates = 1 << (acsConstraint - 1)
+	acsGenA   = 0o133
+	acsGenB   = 0o171
+)
+
+// acsSelA/acsSelB select, per edge, the sign of the step's A/B branch
+// metric: 0 keeps +m (the encoder emits coded bit 0 there), 1 selects -m.
+var acsSelA, acsSelB [2 * ACSStates]uint8
+
+func acsParity7(v int) uint8 {
+	v &= 0x7F
+	v ^= v >> 4
+	v ^= v >> 2
+	v ^= v >> 1
+	return uint8(v & 1)
+}
+
+func init() {
+	for s := 0; s < ACSStates; s++ {
+		for r := 0; r < 2; r++ {
+			p := ((s << 1) | r) & (ACSStates - 1)
+			reg := (s>>5)<<6 | p
+			acsSelA[s<<1|r] = acsParity7(reg & acsGenA)
+			acsSelB[s<<1|r] = acsParity7(reg & acsGenB)
+		}
+	}
+}
+
+// ACSRun advances the trellis len(decisions) steps, consuming the soft branch
+// metric pair soft[2t], soft[2t+1] at step t and storing that step's 64
+// survivor bits in decisions[t]. metric is the input path-metric bank and
+// scratch a second bank of the same shape; the two are ping-ponged, and the
+// returned pointer is the bank holding the final metrics (one of the two
+// arguments). The run is bit-identical to calling ACSStepRef step by step.
+//
+// Steps execute in the unrolled branchless kernel as long as no NaN candidate
+// can arise — the common case for every real decode. A non-finite branch
+// metric routes that step (and, since it may poison the bank with +Inf or
+// NaN, every later step) through ACSStepRef, whose NaN guards are exact.
+// metric itself must not contain NaN or +Inf on entry; the decoder's
+// 0/-Inf initialization satisfies this.
+func ACSRun(decisions []uint64, soft []float64, metric, scratch *[64]float64) *[64]float64 {
+	cur, next := metric, scratch
+	clean := true
+	for t := range decisions {
+		mA, mB := soft[2*t], soft[2*t+1]
+		if clean && !math.IsNaN(mA) && !math.IsInf(mA, 0) && !math.IsNaN(mB) && !math.IsInf(mB, 0) {
+			decisions[t] = acsStepFast(next, cur, mA, mB)
+		} else {
+			clean = false
+			decisions[t] = ACSStepRef(next, cur, mA, mB)
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// ACSStepRef is the retained naive reference for the unrolled ACS kernel: the
+// table-driven butterfly loop the decoder shipped with before internal/kernels
+// existed. It is the differential-test oracle and must stay semantically
+// frozen.
+//
+// Selecting the negated value -m is bit-identical to the textbook "bm -= m"
+// formulation because -1.0*m and m-x == m+(-x) are exact in IEEE-754. Per
+// target the even edge is visited first with a strict >, so metric ties keep
+// the lower predecessor; starting from -Inf reproduces unreached-predecessor
+// and NaN-metric handling (never selected).
+func ACSStepRef(next, metric *[64]float64, mA, mB float64) uint64 {
+	av := [2]float64{mA, -mA}
+	bv := [2]float64{mB, -mB}
+	nInf := math.Inf(-1)
+	var dec uint64
+	for s := 0; s < ACSStates/2; s++ {
+		// Butterfly: targets s and s+32 share the predecessor pair
+		// p0 = 2s, p0|1, and their branch outputs are exact complements
+		// (both generators include the top register bit, so flipping the
+		// shifted-in bit flips both coded bits).
+		p0 := s << 1
+		m0, m1 := metric[p0], metric[p0|1]
+		a0, b0 := av[acsSelA[p0]&1], bv[acsSelB[p0]&1]
+		a1, b1 := av[acsSelA[p0|1]&1], bv[acsSelB[p0|1]&1]
+
+		c0 := (m0 + a0) + b0
+		c1 := (m1 + a1) + b1
+		best := nInf
+		if c0 > best {
+			best = c0
+		}
+		if c1 > best {
+			best = c1
+			dec |= 1 << uint(s)
+		}
+		next[s] = best
+
+		d0 := (m0 - a0) - b0
+		d1 := (m1 - a1) - b1
+		best = nInf
+		if d0 > best {
+			best = d0
+		}
+		if d1 > best {
+			best = d1
+			dec |= 1 << uint(s+ACSStates/2)
+		}
+		next[s+ACSStates/2] = best
+	}
+	return dec
+}

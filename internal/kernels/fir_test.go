@@ -1,0 +1,128 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// firRandVals fills a slice with Gaussian values plus occasional adversarial
+// zeros, denormals, huge magnitudes and non-finite values.
+func firRandVals(rng *rand.Rand, v []float64, adversarial bool) {
+	for i := range v {
+		v[i] = rng.NormFloat64()
+		if adversarial {
+			switch rng.Intn(32) {
+			case 0:
+				v[i] = 0
+			case 1:
+				v[i] = math.Inf(1 - 2*rng.Intn(2))
+			case 2:
+				v[i] = math.NaN()
+			case 3:
+				v[i] = rng.NormFloat64() * 1e300
+			case 4:
+				v[i] = rng.NormFloat64() * 5e-324
+			}
+		}
+	}
+}
+
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	for i := range got {
+		if math.IsNaN(got[i]) && math.IsNaN(want[i]) {
+			// A NaN output must be NaN in both kernels, but its payload
+			// bits are unspecified: the hardware propagates the payload of
+			// whichever NaN operand the compiler scheduled first, and
+			// addition/multiplication operand order is not part of the
+			// bit-exactness contract (IEEE-754 leaves it free).
+			continue
+		}
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d]: %x != ref %x (%g vs %g)", name, i,
+				math.Float64bits(got[i]), math.Float64bits(want[i]), got[i], want[i])
+		}
+	}
+}
+
+// TestFIRRealMatchesRef sweeps tap counts and frame lengths (covering the
+// unrolled body, the scalar tail, and frames shorter than the unroll width)
+// with random and adversarial data, asserting bit equality per output.
+func TestFIRRealMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		tapN := 1 + rng.Intn(24)
+		n := 1 + rng.Intn(50)
+		taps := make([]float64, tapN)
+		firRandVals(rng, taps, false)
+		ext := n + tapN - 1
+		xr := make([]float64, ext)
+		xi := make([]float64, ext)
+		firRandVals(rng, xr, trial%2 == 1)
+		firRandVals(rng, xi, trial%2 == 1)
+		yr := make([]float64, n)
+		yi := make([]float64, n)
+		wr := make([]float64, n)
+		wi := make([]float64, n)
+		FIRReal(yr, yi, xr, xi, taps)
+		FIRRealRef(wr, wi, xr, xi, taps)
+		bitsEqual(t, "re", yr, wr)
+		bitsEqual(t, "im", yi, wi)
+	}
+}
+
+// TestFIRCplxMatchesRef is the complex-tap analogue of TestFIRRealMatchesRef.
+func TestFIRCplxMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		tapN := 1 + rng.Intn(24)
+		n := 1 + rng.Intn(50)
+		tr := make([]float64, tapN)
+		ti := make([]float64, tapN)
+		firRandVals(rng, tr, false)
+		firRandVals(rng, ti, false)
+		ext := n + tapN - 1
+		xr := make([]float64, ext)
+		xi := make([]float64, ext)
+		firRandVals(rng, xr, trial%2 == 1)
+		firRandVals(rng, xi, trial%2 == 1)
+		yr := make([]float64, n)
+		yi := make([]float64, n)
+		wr := make([]float64, n)
+		wi := make([]float64, n)
+		FIRCplx(yr, yi, xr, xi, tr, ti)
+		FIRCplxRef(wr, wi, xr, xi, tr, ti)
+		bitsEqual(t, "re", yr, wr)
+		bitsEqual(t, "im", yi, wi)
+	}
+}
+
+func benchFIR(b *testing.B, cplx bool, kernel func(yr, yi, xr, xi, tr, ti []float64)) {
+	rng := rand.New(rand.NewSource(5))
+	const tapN, n = 23, 1024
+	tr := make([]float64, tapN)
+	ti := make([]float64, tapN)
+	firRandVals(rng, tr, false)
+	firRandVals(rng, ti, false)
+	xr := make([]float64, n+tapN-1)
+	xi := make([]float64, n+tapN-1)
+	firRandVals(rng, xr, false)
+	firRandVals(rng, xi, false)
+	yr := make([]float64, n)
+	yi := make([]float64, n)
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel(yr, yi, xr, xi, tr, ti)
+	}
+}
+
+func BenchmarkFIRReal(b *testing.B) {
+	benchFIR(b, false, func(yr, yi, xr, xi, tr, _ []float64) { FIRReal(yr, yi, xr, xi, tr) })
+}
+func BenchmarkFIRRealRef(b *testing.B) {
+	benchFIR(b, false, func(yr, yi, xr, xi, tr, _ []float64) { FIRRealRef(yr, yi, xr, xi, tr) })
+}
+func BenchmarkFIRCplx(b *testing.B)    { benchFIR(b, true, FIRCplx) }
+func BenchmarkFIRCplxRef(b *testing.B) { benchFIR(b, true, FIRCplxRef) }

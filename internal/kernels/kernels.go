@@ -1,0 +1,62 @@
+// Package kernels is the instruction-level-parallelism layer of the
+// simulator: the handful of numeric inner loops that dominate packet run
+// time — Viterbi add-compare-select, FIR convolution, mixer/LO rotation —
+// rewritten on a planar (structure-of-arrays) split-complex representation
+// with explicit unrolling, and nothing else.
+//
+// Contract, enforced by the wlanlint kernelpure analyzer and the package's
+// differential test suite:
+//
+//   - every kernel is bit-exact against a retained naive reference
+//     implementation (the *Ref functions) on all inputs, adversarial values
+//     included — callers may switch between the two freely;
+//   - the package imports only "math": no allocation sources, no I/O, no
+//     RNGs (stochastic inputs are produced by the caller and passed in);
+//   - hot functions allocate nothing — buffers are owned by the caller,
+//     typically as Vec fields grown once via Grow;
+//   - loop bodies contain no complex128 arithmetic: operands arrive split
+//     into real and imaginary planes so the compiler schedules independent
+//     scalar chains instead of the 4-mul/2-add complex lockstep.
+package kernels
+
+// Vec is a split-complex vector: Re[i] + i*Im[i]. The planar layout is the
+// package's working representation; convert at stage boundaries with From
+// and CopyTo, amortizing the transpose once per frame instead of paying
+// interleaved access in every inner loop.
+type Vec struct {
+	Re, Im []float64
+}
+
+// Len returns the vector length.
+func (v *Vec) Len() int { return len(v.Re) }
+
+// Grow resizes the vector to n elements, reusing capacity when possible.
+// Contents are unspecified after growth; only Grow allocates, so a Vec held
+// across frames reaches a zero-allocation steady state.
+func (v *Vec) Grow(n int) {
+	if cap(v.Re) < n {
+		v.Re = make([]float64, n)
+		v.Im = make([]float64, n)
+	}
+	v.Re = v.Re[:n]
+	v.Im = v.Im[:n]
+}
+
+// From fills the vector with the planes of x, growing it to len(x).
+func (v *Vec) From(x []complex128) {
+	v.Grow(len(x))
+	re, im := v.Re, v.Im
+	for i, c := range x {
+		re[i] = real(c)
+		im[i] = imag(c)
+	}
+}
+
+// CopyTo interleaves the vector back into x, which must have length Len.
+func (v *Vec) CopyTo(x []complex128) {
+	re, im := v.Re, v.Im
+	x = x[:len(re)]
+	for i := range re {
+		x[i] = complex(re[i], im[i])
+	}
+}

@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMixApplyMatchesRef drives the in-place mix kernels and their
+// references over random and adversarial frames, asserting bit equality.
+func TestMixApplyMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		adv := trial%2 == 1
+		xr := make([]float64, n)
+		xi := make([]float64, n)
+		firRandVals(rng, xr, adv)
+		firRandVals(rng, xi, adv)
+		lor := make([]float64, n)
+		loi := make([]float64, n)
+		firRandVals(rng, lor, adv)
+		firRandVals(rng, loi, adv)
+		mur, mui := rng.NormFloat64(), rng.NormFloat64()
+		nur, nui := rng.NormFloat64(), rng.NormFloat64()
+		g := rng.NormFloat64()
+		dcr, dci := rng.NormFloat64(), 0.0
+		if trial%3 == 0 {
+			dcr, dci = 0, 0 // the common DC-disabled case must still add
+		}
+
+		ar := append([]float64(nil), xr...)
+		ai := append([]float64(nil), xi...)
+		br := append([]float64(nil), xr...)
+		bi := append([]float64(nil), xi...)
+		MixApplyLO(ar, ai, lor, loi, mur, mui, nur, nui, g, dcr, dci)
+		MixApplyLORef(br, bi, lor, loi, mur, mui, nur, nui, g, dcr, dci)
+		bitsEqual(t, "lo re", ar, br)
+		bitsEqual(t, "lo im", ai, bi)
+
+		copy(ar, xr)
+		copy(ai, xi)
+		copy(br, xr)
+		copy(bi, xi)
+		MixApply(ar, ai, mur, mui, nur, nui, g, dcr, dci)
+		MixApplyRef(br, bi, mur, mui, nur, nui, g, dcr, dci)
+		bitsEqual(t, "re", ar, br)
+		bitsEqual(t, "im", ai, bi)
+	}
+}
+
+// TestMixApplyMatchesComplexForm pins the kernels' scalar schedule to Go's
+// complex128 lowering of the mixer expression they replace.
+func TestMixApplyMatchesComplexForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 64
+	x := make([]complex128, n)
+	lo := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		lo[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	mu := complex(rng.NormFloat64(), rng.NormFloat64())
+	nu := complex(rng.NormFloat64(), rng.NormFloat64())
+	g := rng.NormFloat64()
+	dc := complex(rng.NormFloat64(), rng.NormFloat64())
+
+	var v Vec
+	var loV Vec
+	v.From(x)
+	loV.From(lo)
+	MixApplyLO(v.Re, v.Im, loV.Re, loV.Im,
+		real(mu), imag(mu), real(nu), imag(nu), g, real(dc), imag(dc))
+
+	for i, xv := range x {
+		y := mu*xv + nu*complex(real(xv), -imag(xv))
+		y *= lo[i]
+		y = complex(g*real(y), g*imag(y))
+		y += dc
+		if math.Float64bits(v.Re[i]) != math.Float64bits(real(y)) ||
+			math.Float64bits(v.Im[i]) != math.Float64bits(imag(y)) {
+			t.Fatalf("sample %d: kernel (%g,%g) != complex form (%g,%g)",
+				i, v.Re[i], v.Im[i], real(y), imag(y))
+		}
+	}
+}
+
+// TestLOTableFillMatchesRef checks the table walk against the exact Sincos
+// reference across ratios, including negative and non-reduced ones, and
+// across frame-boundary positions.
+func TestLOTableFillMatchesRef(t *testing.T) {
+	cases := []struct{ k, n int }{
+		{1, 8}, {3, 8}, {-1, 8}, {5, 64}, {7, 3}, {2, 6}, {0, 4}, {255, 256},
+	}
+	for _, c := range cases {
+		tab := NewLOTable(c.k, c.n)
+		re := make([]float64, 23)
+		im := make([]float64, 23)
+		abs := 0
+		for frame := 0; frame < 7; frame++ {
+			tab.Fill(re, im)
+			for i := range re {
+				wr, wi := tab.PhasorRef(abs)
+				if math.Float64bits(re[i]) != math.Float64bits(wr) ||
+					math.Float64bits(im[i]) != math.Float64bits(wi) {
+					t.Fatalf("k/n=%d/%d sample %d: (%g,%g) != ref (%g,%g)",
+						c.k, c.n, abs, re[i], im[i], wr, wi)
+				}
+				abs++
+			}
+		}
+		tab.Reset()
+		tab.Fill(re[:1], im[:1])
+		wr, wi := tab.PhasorRef(0)
+		if re[0] != wr || im[0] != wi {
+			t.Fatalf("k/n=%d/%d: Reset did not rewind to sample 0", c.k, c.n)
+		}
+	}
+}
+
+func BenchmarkMixApplyLO(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	const n = 1024
+	xr := make([]float64, n)
+	xi := make([]float64, n)
+	lor := make([]float64, n)
+	loi := make([]float64, n)
+	firRandVals(rng, xr, false)
+	firRandVals(rng, xi, false)
+	firRandVals(rng, lor, false)
+	firRandVals(rng, loi, false)
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MixApplyLO(xr, xi, lor, loi, 0.9, 0.05, 0.02, -0.01, 1.1, 0, 0)
+	}
+}

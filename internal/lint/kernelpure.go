@@ -1,0 +1,183 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// KernelPure enforces the internal/kernels package contract (see that
+// package's doc comment): the ILP kernel layer must stay a leaf of pure
+// scalar math. Three invariants are checked, each of which would silently
+// erode the layer's guarantees if violated:
+//
+//  1. the package imports only "math" — any other import smuggles in
+//     allocation sources, I/O or RNG state the differential harness cannot
+//     see;
+//  2. hot functions allocate nothing — make/new/append and composite
+//     literals are confined to constructors (New*), one-time init, and the
+//     Grow convention for caller-owned buffers, so a kernel held across
+//     frames stays at a zero-allocation steady state;
+//  3. loop bodies contain no complex128 arithmetic — operands arrive split
+//     into planes, and a single complex multiply in an inner loop quietly
+//     reintroduces the 4-mul/2-add lockstep the planar layout exists to
+//     break (the real/imag/complex conversion builtins at plane boundaries
+//     are fine).
+//
+// Legitimate exceptions carry a //lint:ignore kernelpure directive with the
+// justification.
+var KernelPure = &Analyzer{
+	Name: "kernelpure",
+	Doc: "enforce the internal/kernels purity contract: imports limited to " +
+		"\"math\", no allocation outside constructors/init, and no complex " +
+		"arithmetic inside loop bodies",
+	Run: runKernelPure,
+}
+
+// kernelPkgSuffix identifies the one package the contract applies to.
+const kernelPkgSuffix = "internal/kernels"
+
+func isKernelPackage(path string) bool {
+	return path == kernelPkgSuffix || strings.HasSuffix(path, "/"+kernelPkgSuffix)
+}
+
+// kernelAllocExempt reports whether the named function may allocate:
+// constructors build the tables they return, init fills package-level tables
+// once at startup, and Grow is the caller-owned-buffer convention — the one
+// method a Vec-style type resizes through, reached only at frame setup.
+func kernelAllocExempt(name string) bool {
+	return name == "init" || name == "Grow" || strings.HasPrefix(name, "New")
+}
+
+func runKernelPure(pass *Pass) {
+	if !isKernelPackage(pass.Pkg.Path) {
+		return
+	}
+	// Invariant 1: imports limited to "math".
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path == "math" {
+				continue
+			}
+			pass.Reportf(imp.Pos(),
+				"keep the kernels layer a leaf: pass data in planar slices and let the caller own I/O, RNGs and buffers",
+				"kernels package imports %q; the purity contract allows only \"math\"", path)
+		}
+	}
+	// Invariants 2 and 3 are scoped per function declaration.
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkKernelAllocs(pass, fd)
+			checkKernelComplexLoops(pass, fd)
+		}
+	}
+}
+
+// checkKernelAllocs flags allocation expressions in non-exempt functions.
+func checkKernelAllocs(pass *Pass, fd *ast.FuncDecl) {
+	if kernelAllocExempt(fd.Name.Name) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.UnaryExpr:
+			// &T{...} heap-allocates when it escapes; value array/struct
+			// literals below stay on the stack and are allowed.
+			if cl, ok := unparen(e.X).(*ast.CompositeLit); ok && e.Op == token.AND {
+				pass.Reportf(cl.Pos(),
+					"move construction into a New* constructor or grow a caller-owned buffer",
+					"address of composite literal allocates in kernel function %s", fd.Name.Name)
+				return false
+			}
+		case *ast.CompositeLit:
+			if t, ok := pass.Pkg.Info.Types[e]; ok && t.Type != nil {
+				switch t.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(e.Pos(),
+						"move construction into a New* constructor or grow a caller-owned buffer",
+						"composite literal allocates in kernel function %s", fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			id, ok := unparen(e.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, isBuiltin := pass.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			switch id.Name {
+			case "make", "new", "append":
+				pass.Reportf(e.Pos(),
+					"hot kernels must run allocation-free: take caller-owned output slices, or move growth into a constructor",
+					"%s in kernel function %s", id.Name, fd.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkKernelComplexLoops flags complex-typed arithmetic inside loop bodies.
+func checkKernelComplexLoops(pass *Pass, fd *ast.FuncDecl) {
+	var walkLoopBody func(n ast.Node) bool
+	checkExpr := func(n ast.Node) bool {
+		var pos ast.Node
+		switch e := n.(type) {
+		case *ast.BinaryExpr:
+			if isComplexType(pass, e.X) || isComplexType(pass, e.Y) {
+				pos = e
+			}
+		case *ast.UnaryExpr:
+			if isComplexType(pass, e.X) {
+				pos = e
+			}
+		case *ast.AssignStmt:
+			// Compound arithmetic assignment (x[i] *= w) is an AssignStmt,
+			// not a BinaryExpr.
+			if e.Tok != token.ASSIGN && e.Tok != token.DEFINE &&
+				(isComplexType(pass, e.Lhs[0]) || isComplexType(pass, e.Rhs[0])) {
+				pos = e
+			}
+		case *ast.IncDecStmt:
+			if isComplexType(pass, e.X) {
+				pos = e
+			}
+		}
+		if pos != nil {
+			pass.Reportf(pos.Pos(),
+				"split the operands into real/imaginary planes (Vec) so the loop schedules independent scalar chains",
+				"complex arithmetic inside a loop body in kernel function %s", fd.Name.Name)
+			return false // one report per expression tree
+		}
+		return true
+	}
+	walkLoopBody = func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt:
+			ast.Inspect(s.Body, checkExpr)
+			return false
+		case *ast.RangeStmt:
+			ast.Inspect(s.Body, checkExpr)
+			return false
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walkLoopBody)
+}
+
+// isComplexType reports whether the expression's type is a complex kind.
+func isComplexType(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsComplex != 0
+}

@@ -1,0 +1,143 @@
+package lint
+
+import "testing"
+
+func TestKernelPure(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want []finding
+	}{
+		{
+			name: "foreign import",
+			path: "example.com/m/internal/kernels",
+			src: `package kernels
+
+import (
+	"fmt"
+	"math"
+)
+
+func describe(x float64) { fmt.Println(math.Abs(x)) }
+`,
+			want: []finding{
+				{4, `imports "fmt"`},
+			},
+		},
+		{
+			name: "allocation in hot function",
+			path: "example.com/m/internal/kernels",
+			src: `package kernels
+
+func process(x []float64) []float64 {
+	out := make([]float64, len(x))
+	out = append(out, 1)
+	pair := []float64{1, 2}
+	return append(out, pair...)
+}
+`,
+			want: []finding{
+				{4, "make in kernel function process"},
+				{5, "append in kernel function process"},
+				{6, "composite literal allocates"},
+				{7, "append in kernel function process"},
+			},
+		},
+		{
+			name: "constructors init and Grow may allocate",
+			path: "example.com/m/internal/kernels",
+			src: `package kernels
+
+var table [8]float64
+
+func init() {
+	t := make([]float64, 8)
+	copy(table[:], t)
+}
+
+type Buf struct{ v []float64 }
+
+func NewBuf(n int) *Buf { return &Buf{v: make([]float64, n)} }
+
+func (b *Buf) Grow(n int) {
+	if cap(b.v) < n {
+		b.v = make([]float64, n)
+	}
+	b.v = b.v[:n]
+}
+`,
+			want: nil,
+		},
+		{
+			name: "complex arithmetic in loop body",
+			path: "example.com/m/internal/kernels",
+			src: `package kernels
+
+func rotate(x []complex128, w complex128) complex128 {
+	acc := x[0] * w // outside any loop: allowed
+	for i := range x {
+		x[i] *= w
+		x[i] = -x[i]
+	}
+	return acc
+}
+`,
+			want: []finding{
+				{6, "complex arithmetic inside a loop body"},
+				{7, "complex arithmetic inside a loop body"},
+			},
+		},
+		{
+			name: "plane conversions in loops are clean",
+			path: "example.com/m/internal/kernels",
+			src: `package kernels
+
+func split(x []complex128, re, im []float64) {
+	for i, c := range x {
+		re[i] = real(c)
+		im[i] = imag(c)
+	}
+	for i := range re {
+		x[i] = complex(re[i], im[i])
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive suppresses",
+			path: "example.com/m/internal/kernels",
+			src: `package kernels
+
+func scratch(n int) []float64 {
+	//lint:ignore kernelpure cold path used only by tests
+	return make([]float64, n)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "other packages are exempt",
+			path: "example.com/m/internal/dsp",
+			src: `package dsp
+
+import "fmt"
+
+func process(x []complex128, w complex128) {
+	for i := range x {
+		x[i] *= w
+	}
+	fmt.Println(make([]float64, 1))
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := analyzeFixture(t, tc.path, tc.src, KernelPure)
+			checkFindings(t, diags, tc.want)
+		})
+	}
+}

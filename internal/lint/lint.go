@@ -85,7 +85,7 @@ func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{UnitsDiscipline, SeededRand, FloatEq, UnkeyedConfig, HotPathExp}
+	return []*Analyzer{UnitsDiscipline, SeededRand, FloatEq, UnkeyedConfig, HotPathExp, KernelPure}
 }
 
 // ignoreDirective is one parsed //lint:ignore comment.

@@ -44,9 +44,14 @@ func (s *Series) Add(x, y float64) {
 }
 
 // AddPoint appends a fully annotated point, keeping the series sorted by X.
+// Insertion is by binary search, so adding keeps whatever capacity Points
+// already has and allocates nothing beyond slice growth; points sharing an X
+// stay in insertion order.
 func (s *Series) AddPoint(p Point) {
-	s.Points = append(s.Points, p)
-	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+	i := sort.Search(len(s.Points), func(j int) bool { return s.Points[j].X > p.X })
+	s.Points = append(s.Points, Point{})
+	copy(s.Points[i+1:], s.Points[i:])
+	s.Points[i] = p
 }
 
 // Min returns the point with the smallest Y (zero Point for an empty series).

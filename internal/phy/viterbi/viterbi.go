@@ -7,6 +7,8 @@ package viterbi
 import (
 	"fmt"
 	"math"
+
+	"wlansim/internal/kernels"
 )
 
 const (
@@ -16,24 +18,18 @@ const (
 	genB       = 0o171
 )
 
-// The add-compare-select loop iterates over *target* states. Target state s
-// has exactly two predecessors p(r) = ((s<<1)|r)&63 for r in {0,1}, and both
-// transitions carry the same input bit s>>5 (the bit shifted into the
-// encoder register). The branch outputs depend only on the 7-bit register
+// The add-compare-select recursion iterates over *target* states. Target
+// state s has exactly two predecessors p(r) = ((s<<1)|r)&63 for r in {0,1},
+// and both transitions carry the same input bit s>>5 (the bit shifted into
+// the encoder register). The branch outputs depend only on the 7-bit register
 // value (s>>5)<<6 | p(r), so they collapse into two sign tables indexed by
 // (s<<1)|r: +1 where the encoder emits coded bit 0 (the soft metric counts
 // toward the path), -1 where it emits 1 (it counts against).
 //
-// Multiplying a metric by ±1.0 is exact in IEEE-754 and x+(-y) == x-y, so
-// the branch metrics here are bit-identical to the original
-// "bm += mA / bm -= mA" formulation.
+// The recursion itself lives in kernels.ACSRun (an unrolled, branchless
+// butterfly schedule, bit-identical to the frozen kernels.ACSStepRef); the
+// tables here document the trellis structure and anchor the structural tests.
 var signA, signB [2 * numStates]float64
-
-// selA/selB are the sign tables as indices into a per-step {+m, -m} pair,
-// replacing the two ±1.0 multiplies per branch with value selection. Since
-// -1.0*m == -m exactly, the selected values are bit-identical to the
-// multiplied ones.
-var selA, selB [2 * numStates]uint8
 
 func parity7(v int) byte {
 	v &= 0x7F
@@ -50,8 +46,6 @@ func init() {
 			reg := (s>>5)<<6 | p
 			signA[s<<1|r] = 1 - 2*float64(parity7(reg&genA))
 			signB[s<<1|r] = 1 - 2*float64(parity7(reg&genB))
-			selA[s<<1|r] = parity7(reg & genA)
-			selB[s<<1|r] = parity7(reg & genB)
 		}
 	}
 }
@@ -101,72 +95,20 @@ func (d *Decoder) DecodeSoftInto(dst []byte, soft []float64) ([]byte, error) {
 		return nil, nil
 	}
 
-	metric, next := &d.metricA, &d.metricB
-	for i := range metric {
-		metric[i] = math.Inf(-1)
+	for i := range d.metricA {
+		d.metricA[i] = math.Inf(-1)
 	}
-	metric[0] = 0 // encoder starts in the zero state
+	d.metricA[0] = 0 // encoder starts in the zero state
 
 	if cap(d.decisions) < steps {
 		d.decisions = make([]uint64, steps)
 	}
 	decisions := d.decisions[:steps]
 
-	for t := 0; t < steps; t++ {
-		mA, mB := soft[2*t], soft[2*t+1]
-		// Branch metric values selected by the sign tables: av[0] == +mA,
-		// av[1] == -mA (and likewise for B). Selecting the negated value is
-		// bit-identical to multiplying by -1.0.
-		av := [2]float64{mA, -mA}
-		bv := [2]float64{mB, -mB}
-		var dec uint64
-		for s := 0; s < numStates/2; s++ {
-			// Butterfly: targets s and s+32 share the predecessor
-			// pair p0 = 2s, p0|1, and their branch outputs are exact
-			// complements (both generators include the top register
-			// bit, so flipping the shifted-in bit flips both coded
-			// bits). x-y == x+(-y) in IEEE-754, so the complement
-			// branches below are bit-identical to selecting the
-			// negated table values.
-			//
-			// Per target the two predecessors are visited even edge
-			// first with a strict ">" so ties keep the lower
-			// predecessor — the same survivor the original
-			// ascending-state scan selected. Starting best at -Inf
-			// also reproduces its handling of unreached
-			// predecessors and NaN metrics (never selected).
-			p0 := s << 1
-			m0, m1 := metric[p0], metric[p0|1]
-			a0, b0 := av[selA[p0]&1], bv[selB[p0]&1]
-			a1, b1 := av[selA[p0|1]&1], bv[selB[p0|1]&1]
-
-			c0 := (m0 + a0) + b0
-			c1 := (m1 + a1) + b1
-			best := math.Inf(-1)
-			if c0 > best {
-				best = c0
-			}
-			if c1 > best {
-				best = c1
-				dec |= 1 << uint(s)
-			}
-			next[s] = best
-
-			d0 := (m0 - a0) - b0
-			d1 := (m1 - a1) - b1
-			best = math.Inf(-1)
-			if d0 > best {
-				best = d0
-			}
-			if d1 > best {
-				best = d1
-				dec |= 1 << uint(s+numStates/2)
-			}
-			next[s+numStates/2] = best
-		}
-		decisions[t] = dec
-		metric, next = next, metric
-	}
+	// The ACS recursion runs in the unrolled kernel; the 0/-Inf bank above
+	// satisfies its no-NaN/no-+Inf entry condition. The returned bank holds
+	// the final path metrics.
+	metric := kernels.ACSRun(decisions, soft, &d.metricA, &d.metricB)
 
 	// Select the final state.
 	final := 0

@@ -6,6 +6,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
+	"wlansim/internal/kernels"
 	"wlansim/internal/randutil"
 	"wlansim/internal/units"
 )
@@ -35,6 +36,37 @@ type LO struct {
 	rst    *randutil.Restarter
 	phasor complex128 // e^{j phase}, advanced incrementally
 	renorm int        // samples since the last exact resync
+
+	// table holds the one-period phasor table used by frame fills when the
+	// oscillator is noiseless and its offset/sample-rate ratio is rational
+	// (every 20 MHz-grid interferer and IF offset at integer oversample):
+	// the phase then takes only n distinct values, and the table carries
+	// the exact math.Sincos of each — no per-sample transcendental, no
+	// incremental-rotation drift to renormalize.
+	table *kernels.LOTable
+}
+
+// maxLODenominator bounds the period search for the tabled-LO path; 8192
+// covers every 20 MHz-grid offset at the simulator's oversample factors
+// while keeping worst-case tables small.
+const maxLODenominator = 8192
+
+// rationalLORatio reports the offset/sample-rate ratio as k/n when that
+// ratio is exactly rational with n <= maxLODenominator in float64 arithmetic
+// (the products involved must be exactly representable, which holds for the
+// binary-friendly frequency plans the simulator uses). The smallest such n
+// is returned.
+func rationalLORatio(f0, fs float64) (k, n int, ok bool) {
+	if fs <= 0 || math.IsNaN(f0) || math.IsInf(f0, 0) || math.Abs(f0) >= fs*(1<<30) {
+		return 0, 0, false
+	}
+	for n = 1; n <= maxLODenominator; n++ {
+		p := f0 * float64(n)
+		if math.Mod(p, fs) == 0 {
+			return int(p / fs), n, true
+		}
+	}
+	return 0, 0, false
 }
 
 // NewLO builds a local oscillator model.
@@ -53,6 +85,11 @@ func NewLO(cfg LOConfig) (*LO, error) {
 	lo.rng = randutil.NewRand(cfg.Seed) // fixed seed: snapshot-cached construction
 	lo.rst = randutil.New(lo.rng, cfg.Seed)
 	lo.phasor = 1
+	if lo.sigma == 0 && cfg.SampleRateHz > 0 {
+		if k, n, ok := rationalLORatio(cfg.FrequencyOffsetHz, cfg.SampleRateHz); ok {
+			lo.table = kernels.NewLOTable(k, n)
+		}
+	}
 	return lo, nil
 }
 
@@ -92,6 +129,34 @@ func (l *LO) Next() complex128 {
 	return v
 }
 
+// fill materializes the phasors of the next len(re) samples into planar
+// planes, advancing the oscillator. Noiseless rational-ratio oscillators walk
+// the precomputed period table (each value the exact Sincos of its rational
+// phase); all others run the Next recurrence sample by sample, so frame fills
+// and streaming calls draw the identical phase-noise trajectory.
+func (l *LO) fill(re, im []float64) {
+	if l.table != nil {
+		l.table.Fill(re, im)
+		// Keep the scalar state consistent so a later Next continues the
+		// same trajectory: park the recurrence on the table's next phase.
+		j, n := l.table.Pos()
+		p := 2 * math.Pi * float64(j) / float64(n)
+		if p > math.Pi {
+			p -= 2 * math.Pi
+		}
+		l.phase = p
+		pr, pi := l.table.Peek()
+		l.phasor = complex(pr, pi)
+		l.renorm = 0
+		return
+	}
+	for i := range re {
+		v := l.Next()
+		re[i] = real(v)
+		im[i] = imag(v)
+	}
+}
+
 // Reset restarts the phase trajectory. Restoring the generator snapshot
 // restarts the identical phase-noise stream without re-running the seeding
 // procedure.
@@ -100,6 +165,9 @@ func (l *LO) Reset() {
 	l.phasor = 1
 	l.renorm = 0
 	l.rst.Restart()
+	if l.table != nil {
+		l.table.Reset()
+	}
 }
 
 // MixerConfig parameterizes a complex-baseband mixer model. In the
@@ -144,6 +212,8 @@ type Mixer struct {
 	noise *rand.Rand
 	nrst  *randutil.Restarter
 	nsig  float64
+
+	xv, lov kernels.Vec // planar frame and LO-trajectory scratch
 }
 
 // NewMixer validates the configuration and builds the model.
@@ -223,9 +293,36 @@ func (m *Mixer) ProcessSample(x complex128) complex128 {
 }
 
 // Process mixes a frame in place and returns it.
+//
+// The frame is run as three passes — noise injection, LO trajectory fill,
+// planar mixer arithmetic — instead of the per-sample pipeline. The split is
+// bit-exact against ProcessSample: the noise and phase-noise streams come
+// from separate generators, so draining one fully before the other preserves
+// each generator's draw order, and the kernels layer mirrors the per-sample
+// complex arithmetic operation for operation. (The one intended exception is
+// a noiseless rational-ratio LO, whose frame fills use the exact period
+// table rather than the incremental recurrence; see LO.fill.)
 func (m *Mixer) Process(x []complex128) []complex128 {
-	for i, v := range x {
-		x[i] = m.ProcessSample(v)
+	if len(x) == 0 {
+		return x
 	}
+	if m.noise != nil {
+		for i := range x {
+			x[i] += complex(m.noise.NormFloat64()*m.nsig, m.noise.NormFloat64()*m.nsig)
+		}
+	}
+	m.xv.From(x)
+	mur, mui := real(m.mu), imag(m.mu)
+	nur, nui := real(m.nu), imag(m.nu)
+	dcr, dci := real(m.dc), imag(m.dc)
+	if m.lo != nil {
+		m.lov.Grow(len(x))
+		m.lo.fill(m.lov.Re, m.lov.Im)
+		kernels.MixApplyLO(m.xv.Re, m.xv.Im, m.lov.Re, m.lov.Im,
+			mur, mui, nur, nui, m.g, dcr, dci)
+	} else {
+		kernels.MixApply(m.xv.Re, m.xv.Im, mur, mui, nur, nui, m.g, dcr, dci)
+	}
+	m.xv.CopyTo(x)
 	return x
 }

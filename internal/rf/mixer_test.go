@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"wlansim/internal/dsp"
+	"wlansim/internal/randutil"
 	"wlansim/internal/units"
 )
 
@@ -149,6 +150,115 @@ func TestMixerValidation(t *testing.T) {
 	}
 	if _, err := NewLO(LOConfig{LinewidthHz: 10}); err == nil {
 		t.Error("accepted linewidth without sample rate")
+	}
+}
+
+// TestMixerProcessMatchesPerSample pins the frame path's pass split (noise,
+// LO fill, planar kernel) to the per-sample pipeline bit for bit, phase
+// noise and input noise included — the property that makes the kernels
+// integration safe for every gated output.
+func TestMixerProcessMatchesPerSample(t *testing.T) {
+	cfg := MixerConfig{
+		Name: "eq", ConversionGainDB: 3, NoiseFigureDB: 7,
+		SampleRateHz: 20e6, NoiseSeed: 4,
+		IQGainImbalanceDB: 0.4, IQPhaseErrorDeg: 1.5,
+		EnableDC: true, DCOffsetDBm: -45,
+		// Linewidth > 0 keeps the LO on the recurrence path, which is the
+		// one that must match the per-sample stream exactly.
+		LO: &LOConfig{LinewidthHz: 200, FrequencyOffsetHz: 1.1e5, Seed: 6},
+	}
+	mFrame, err := NewMixer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSample, err := NewMixer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := randutil.NewRand(11)
+	// Odd length exercises any unroll tail in the kernels layer.
+	x := make([]complex128, 1021)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	want := make([]complex128, len(x))
+	for i, v := range x {
+		want[i] = mSample.ProcessSample(v)
+	}
+	got := mFrame.Process(x)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: frame %v != per-sample %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMixerTabledLOMatchesRationalPhase checks the noiseless rational-ratio
+// frame path against the independent closed form: the phasor at sample t is
+// the exact Sincos of 2*pi*((k*t) mod n)/n.
+func TestMixerTabledLOMatchesRationalPhase(t *testing.T) {
+	const k, n = 1, 8 // 2.5 MHz on a 20 MHz grid
+	cfg := MixerConfig{
+		Name: "tab", SampleRateHz: 20e6,
+		IQGainImbalanceDB: 0.3, IQPhaseErrorDeg: 1,
+		LO: &LOConfig{FrequencyOffsetHz: 2.5e6},
+	}
+	m, err := NewMixer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.lo.table == nil {
+		t.Fatal("rational noiseless LO did not build a period table")
+	}
+	rng := randutil.NewRand(12)
+	x := make([]complex128, 3*n+5) // non-multiple of the period
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	in := dsp.Clone(x)
+	m.Process(x)
+	for i, v := range in {
+		s, c := math.Sincos(2 * math.Pi * float64((k*i)%n) / float64(n))
+		y := m.mu*v + m.nu*complex(real(v), -imag(v))
+		y *= complex(c, s)
+		y = complex(m.g*real(y), m.g*imag(y))
+		y += m.dc
+		if x[i] != y {
+			t.Fatalf("sample %d: %v != rational-phase form %v", i, x[i], y)
+		}
+	}
+	// A second frame continues the period walk rather than restarting it.
+	y2 := m.Process([]complex128{1})
+	idx := (k * len(in)) % n
+	s, c := math.Sincos(2 * math.Pi * float64(idx) / float64(n))
+	w := m.mu + m.nu
+	w *= complex(c, s)
+	w = complex(m.g*real(w), m.g*imag(w))
+	if y2[0] != w+m.dc {
+		t.Fatalf("second frame phasor: %v, want %v", y2[0], w+m.dc)
+	}
+}
+
+func TestRationalLORatio(t *testing.T) {
+	cases := []struct {
+		f0, fs float64
+		k, n   int
+		ok     bool
+	}{
+		{2.5e6, 20e6, 1, 8, true},
+		{-2.5e6, 20e6, -1, 8, true},
+		{20e6, 160e6, 1, 8, true},
+		{0, 160e6, 0, 1, true},
+		{1.1e5, 20e6, 11, 2000, true},
+		{math.Pi * 1e6, 20e6, 0, 0, false},
+		{1e5, 0, 0, 0, false},
+	}
+	for _, c := range cases {
+		k, n, ok := rationalLORatio(c.f0, c.fs)
+		if ok != c.ok || (ok && (k != c.k || n != c.n)) {
+			t.Errorf("rationalLORatio(%g, %g) = %d/%d,%v want %d/%d,%v",
+				c.f0, c.fs, k, n, ok, c.k, c.n, c.ok)
+		}
 	}
 }
 

@@ -151,11 +151,7 @@ func FineTiming(x []complex128, searchFrom, searchLen int) (int, error) {
 	// (T1 and T2), which is unambiguous against the 16-periodic short
 	// preamble.
 	for l := 0; l+len(ref)+64 <= len(seg); l++ {
-		var s1, s2 complex128
-		for k, r := range ref {
-			s1 += seg[l+k] * cmplx.Conj(r)
-			s2 += seg[l+64+k] * cmplx.Conj(r)
-		}
+		s1, s2 := corrPair(seg, ref, l)
 		if m := cmplx.Abs(s1) + cmplx.Abs(s2); m > bestMag {
 			best, bestMag = l, m
 		}
@@ -166,17 +162,73 @@ func FineTiming(x []complex128, searchFrom, searchLen int) (int, error) {
 	return searchFrom + best, nil
 }
 
+// corrPair evaluates the two conjugate dot products sum(seg[l+k]*conj(ref[k]))
+// and sum(seg[l+64+k]*conj(ref[k])) in split-complex form: each tap of
+// s += z*conj(r) expands to re += a*rr - b*(-ri), im += a*(-ri) + b*rr, and
+// because IEEE-754 negation is exact, each of those rounds identically to the
+// single-rounding forms a*rr + b*ri and b*rr - a*ri used here. The four
+// accumulators are independent dependency chains the CPU overlaps, where the
+// complex form serializes every += behind two dependent subexpressions.
+// Bit-exact vs corrPairRef (TestCorrPairEquivalence).
+func corrPair(seg, ref []complex128, l int) (s1, s2 complex128) {
+	x1 := seg[l : l+len(ref)]
+	x2 := seg[l+64 : l+64+len(ref)]
+	var s1re, s1im, s2re, s2im float64
+	for k, r := range ref {
+		rr, ri := real(r), imag(r)
+		a, b := real(x1[k]), imag(x1[k])
+		c, d := real(x2[k]), imag(x2[k])
+		s1re += a*rr + b*ri
+		s1im += b*rr - a*ri
+		s2re += c*rr + d*ri
+		s2im += d*rr - c*ri
+	}
+	return complex(s1re, s1im), complex(s2re, s2im)
+}
+
+// corrPairRef is the retained naive complex-arithmetic reference for corrPair;
+// the differential test asserts bit equality between the two on random and
+// adversarial inputs.
+func corrPairRef(seg, ref []complex128, l int) (s1, s2 complex128) {
+	for k, r := range ref {
+		s1 += seg[l+k] * cmplx.Conj(r)
+		s2 += seg[l+64+k] * cmplx.Conj(r)
+	}
+	return s1, s2
+}
+
 // FineCFO estimates the residual frequency offset (cycles per sample) from
 // the two long training symbols starting at t1Start.
 func FineCFO(x []complex128, t1Start int) (float64, error) {
 	if t1Start < 0 || t1Start+128 > len(x) {
 		return 0, fmt.Errorf("rxdsp: long symbols out of range")
 	}
+	c := dotConj64(x[t1Start:], x[t1Start+64:])
+	return -cmplx.Phase(c) / (2 * math.Pi * 64), nil
+}
+
+// dotConj64 returns sum over k<64 of u[k]*conj(v[k]) in split-complex form,
+// bit-exact vs dotConj64Ref by the same exact-negation argument as corrPair.
+func dotConj64(u, v []complex128) complex128 {
+	u = u[:64]
+	v = v[:64]
+	var cre, cim float64
+	for k := range u {
+		a, b := real(u[k]), imag(u[k])
+		c, d := real(v[k]), imag(v[k])
+		cre += a*c + b*d
+		cim += b*c - a*d
+	}
+	return complex(cre, cim)
+}
+
+// dotConj64Ref is the retained naive reference for dotConj64.
+func dotConj64Ref(u, v []complex128) complex128 {
 	var c complex128
 	for k := 0; k < 64; k++ {
-		c += x[t1Start+k] * cmplx.Conj(x[t1Start+64+k])
+		c += u[k] * cmplx.Conj(v[k])
 	}
-	return -cmplx.Phase(c) / (2 * math.Pi * 64), nil
+	return c
 }
 
 var longTD []complex128

@@ -41,6 +41,50 @@ type Sweep struct {
 	Workers int
 }
 
+// sweepScratch holds the parallel executor's per-Execute buffers so repeated
+// sweeps (parameter studies run point grids back to back) do not re-allocate
+// them. The done channel is reusable because the collector drains exactly one
+// completion per point before Execute returns it to the pool.
+type sweepScratch struct {
+	pts       []measure.Point
+	errs      []error
+	completed []bool
+	done      chan int
+}
+
+var sweepScratchPool = sync.Pool{New: func() any { return new(sweepScratch) }}
+
+// acquireSweepScratch returns pooled buffers sized (and zeroed) for n points.
+func acquireSweepScratch(n int) *sweepScratch {
+	sc := sweepScratchPool.Get().(*sweepScratch)
+	if cap(sc.pts) < n {
+		sc.pts = make([]measure.Point, n)
+		sc.errs = make([]error, n)
+		sc.completed = make([]bool, n)
+	}
+	sc.pts = sc.pts[:n]
+	sc.errs = sc.errs[:n]
+	sc.completed = sc.completed[:n]
+	for i := range sc.pts {
+		sc.pts[i] = measure.Point{}
+		sc.errs[i] = nil
+		sc.completed[i] = false
+	}
+	if cap(sc.done) < n {
+		sc.done = make(chan int, n)
+	}
+	return sc
+}
+
+// release returns the scratch to the pool. Points and flags are plain values,
+// but errors reference caller state — drop them so the pool retains nothing.
+func (sc *sweepScratch) release() {
+	for i := range sc.errs {
+		sc.errs[i] = nil
+	}
+	sweepScratchPool.Put(sc)
+}
+
 // runner normalizes Run/RunPoint into the point-returning form.
 func (s *Sweep) runner() func(value float64) (measure.Point, error) {
 	if s.RunPoint != nil {
@@ -71,7 +115,10 @@ func (s *Sweep) Execute() (*measure.Series, error) {
 	if workers > len(s.Values) {
 		workers = len(s.Values)
 	}
-	series := &measure.Series{Label: s.Name, XLabel: s.XLabel, YLabel: s.YLabel}
+	series := &measure.Series{
+		Label: s.Name, XLabel: s.XLabel, YLabel: s.YLabel,
+		Points: make([]measure.Point, 0, len(s.Values)),
+	}
 
 	if workers == 1 {
 		for _, v := range s.Values {
@@ -94,9 +141,9 @@ func (s *Sweep) Execute() (*measure.Series, error) {
 	// abort early: every index sends exactly one completion, which keeps
 	// the collector loop bounded and the error (the lowest failing index)
 	// deterministic.
-	pts := make([]measure.Point, len(s.Values))
-	errs := make([]error, len(s.Values))
-	done := make(chan int, len(s.Values))
+	sc := acquireSweepScratch(len(s.Values))
+	defer sc.release()
+	pts, errs, done := sc.pts, sc.errs, sc.done
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -116,7 +163,7 @@ func (s *Sweep) Execute() (*measure.Series, error) {
 		}()
 	}
 
-	completed := make([]bool, len(s.Values))
+	completed := sc.completed
 	var firstErr error
 	report := 0
 	for n := 0; n < len(s.Values); n++ {

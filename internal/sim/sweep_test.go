@@ -136,3 +136,60 @@ func TestSweepWorkersClampedToValues(t *testing.T) {
 		t.Errorf("%d concurrent points for a 2-value sweep", peak.Load())
 	}
 }
+
+// TestSweepExecutorBuffersPooled gates the parallel executor's steady-state
+// allocation count: after a warm-up Execute has stocked the scratch pool, a
+// repeat sweep of the same size allocates only the result series and the
+// worker goroutines — the point/error/completion buffers and the completion
+// channel come from sweepScratchPool. The budget leaves slack for an
+// occasional GC clearing the pool mid-measurement.
+func TestSweepExecutorBuffersPooled(t *testing.T) {
+	s := &Sweep{
+		Name:    "pooled",
+		Values:  Linspace(0, 15, 16),
+		Workers: 4,
+		RunPoint: func(v float64) (measure.Point, error) {
+			return measure.Point{Y: 2 * v}, nil
+		},
+	}
+	if _, err := s.Execute(); err != nil { // warm the pool
+		t.Fatal(err)
+	}
+	n := testing.AllocsPerRun(50, func() {
+		if _, err := s.Execute(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 12
+	if n > budget {
+		t.Errorf("parallel Execute allocates %.1f objects/run, budget %d", n, budget)
+	}
+}
+
+// TestSweepScratchPoolReleasesErrors checks the pool retains no caller error
+// references: a failing sweep must not leave its errors reachable from the
+// pooled scratch handed to the next Execute.
+func TestSweepScratchPoolReleasesErrors(t *testing.T) {
+	fail := errors.New("point failed")
+	s := &Sweep{
+		Name:    "failing",
+		Values:  []float64{0, 1, 2, 3},
+		Workers: 2,
+		RunPoint: func(v float64) (measure.Point, error) {
+			if v == 2 {
+				return measure.Point{}, fail
+			}
+			return measure.Point{Y: v}, nil
+		},
+	}
+	if _, err := s.Execute(); err == nil {
+		t.Fatal("expected error")
+	}
+	sc := sweepScratchPool.Get().(*sweepScratch)
+	defer sweepScratchPool.Put(sc)
+	for i, e := range sc.errs {
+		if e != nil {
+			t.Errorf("pooled scratch retains error at %d: %v", i, e)
+		}
+	}
+}

@@ -48,12 +48,16 @@ func (p *FFTPlan) Size() int { return p.n }
 
 // Forward computes the in-place forward DFT of x, which must have the plan's
 // length. The transform is unnormalized: X[k] = sum_n x[n] exp(-2*pi*i*k*n/N).
+//
+//lint:hotpath
 func (p *FFTPlan) Forward(x []complex128) {
 	p.transform(x, false)
 }
 
 // Inverse computes the in-place inverse DFT of x, including the 1/N
 // normalization so that Inverse(Forward(x)) == x.
+//
+//lint:hotpath
 func (p *FFTPlan) Inverse(x []complex128) {
 	p.transform(x, true)
 	scale := complex(1/float64(p.n), 0)
@@ -62,8 +66,10 @@ func (p *FFTPlan) Inverse(x []complex128) {
 	}
 }
 
+//lint:hotpath
 func (p *FFTPlan) transform(x []complex128, inverse bool) {
 	if len(x) != p.n {
+		//lint:ignore escape panic path only: the formatted lengths box
 		panic(fmt.Sprintf("dsp: FFT input length %d does not match plan size %d", len(x), p.n))
 	}
 	for i, j := range p.rev {

@@ -62,6 +62,8 @@ func (f *FIR) Reset() {
 }
 
 // ProcessSample filters one sample, updating the internal state.
+//
+//lint:hotpath
 func (f *FIR) ProcessSample(x complex128) complex128 {
 	acc := x * complex(f.taps[0], 0)
 	p := len(f.hist)
@@ -77,6 +79,8 @@ func (f *FIR) ProcessSample(x complex128) complex128 {
 
 // Process filters a frame in place and returns it. Steady-state frames of a
 // recurring size allocate nothing.
+//
+//lint:hotpath
 func (f *FIR) Process(x []complex128) []complex128 {
 	if len(x) == 0 {
 		return x
@@ -91,6 +95,7 @@ func (f *FIR) Process(x []complex128) []complex128 {
 	}
 	need := p + len(x)
 	if cap(f.ext) < need {
+		//lint:ignore escape one-time scratch grow, amortized across frames
 		f.ext = make([]complex128, need)
 	}
 	ext := f.ext[:need]
@@ -105,7 +110,9 @@ func (f *FIR) Process(x []complex128) []complex128 {
 		// Planar direct path: one transpose per frame, then the unrolled
 		// split-complex kernel. Per output the kernel accumulates newest to
 		// oldest (taps[0] first) like the per-sample form, bit-identically.
+		//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
 		f.extV.From(ext)
+		//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
 		f.outV.Grow(len(x))
 		kernels.FIRReal(f.outV.Re, f.outV.Im, f.extV.Re, f.extV.Im, f.taps)
 		f.outV.CopyTo(x)

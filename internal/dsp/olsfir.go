@@ -61,6 +61,8 @@ func newOLSConvReal(taps []float64) *olsConv {
 // process computes dst[i] = Σ_j taps[j]·ext[taps-1+i-j] for i in [0,
 // len(dst)), where ext is the history prefix of taps-1 samples followed by
 // the len(dst) input samples. dst must not alias ext.
+//
+//lint:hotpath
 func (c *olsConv) process(dst, ext []complex128) {
 	p := c.taps - 1
 	for start := 0; start < len(dst); start += c.l {

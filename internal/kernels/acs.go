@@ -54,6 +54,8 @@ func init() {
 // NaN, every later step) through ACSStepRef, whose NaN guards are exact.
 // metric itself must not contain NaN or +Inf on entry; the decoder's
 // 0/-Inf initialization satisfies this.
+//
+//lint:hotpath
 func ACSRun(decisions []uint64, soft []float64, metric, scratch *[64]float64) *[64]float64 {
 	cur, next := metric, scratch
 	clean := true

@@ -34,6 +34,8 @@ func FIRRealRef(yr, yi, xr, xi, taps []float64) {
 // len(taps)-1 samples, then the frame) with real taps, writing len(yr)
 // outputs. yr/yi must not alias the tail of xr/xi that the remaining windows
 // still read. Bit-identical to FIRRealRef.
+//
+//lint:hotpath
 func FIRReal(yr, yi, xr, xi, taps []float64) {
 	last := len(taps) - 1
 	n := len(yr)
@@ -92,6 +94,8 @@ func FIRCplxRef(yr, yi, xr, xi, tr, ti []float64) {
 
 // FIRCplx filters the planar extended input with complex taps split into
 // tr/ti, four outputs per iteration. Bit-identical to FIRCplxRef.
+//
+//lint:hotpath
 func FIRCplx(yr, yi, xr, xi, tr, ti []float64) {
 	last := len(tr) - 1
 	n := len(yr)

@@ -53,6 +53,8 @@ func (v *Vec) From(x []complex128) {
 }
 
 // CopyTo interleaves the vector back into x, which must have length Len.
+//
+//lint:hotpath
 func (v *Vec) CopyTo(x []complex128) {
 	re, im := v.Re, v.Im
 	x = x[:len(re)]

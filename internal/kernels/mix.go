@@ -35,6 +35,8 @@ func MixApplyLORef(xr, xi, lor, loi []float64, mur, mui, nur, nui, g, dcr, dci f
 // MixApplyLO applies imbalance, LO rotation, gain and DC in place on the
 // planar frame xr/xi, with the LO trajectory in lor/loi. Bit-identical to
 // MixApplyLORef.
+//
+//lint:hotpath
 func MixApplyLO(xr, xi, lor, loi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
 	for i := range xr {
 		vr, vi := xr[i], xi[i]
@@ -64,6 +66,8 @@ func MixApplyRef(xr, xi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
 
 // MixApply applies imbalance, gain and DC in place on the planar frame
 // xr/xi. Bit-identical to MixApplyRef.
+//
+//lint:hotpath
 func MixApply(xr, xi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
 	for i := range xr {
 		vr, vi := xr[i], xi[i]
@@ -117,6 +121,8 @@ func (l *LOTable) PhasorRef(t int) (re, im float64) {
 // Fill writes the next len(re) phasors into the planes re/im, advancing the
 // table position. Bit-identical to PhasorRef at the corresponding absolute
 // sample indices (the table entries are those exact Sincos values).
+//
+//lint:hotpath
 func (l *LOTable) Fill(re, im []float64) {
 	j, k, n := l.idx, l.k, l.n
 	tr, ti := l.re, l.im

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// DetFlow guards the determinism contract the parallel sweep executor (and
+// the coming sweep service) is built on: every sweep point must be
+// independently computable and bit-identical across worker counts, which
+// seededrand enforces for direct RNG draws but which three other routes can
+// silently break. DetFlow closes them:
+//
+//  1. map iteration feeding result series — Go randomizes map order, so a
+//     for-range over a map whose body calls measure.Series.Add/AddPoint or
+//     Figure.AddSeries produces a different curve layout every run;
+//  2. wall-clock reads (time.Now/time.Since) inside the simulation packages
+//     — a result that depends on the clock cannot reproduce; timing
+//     *measurements* are the one legitimate use and carry an ignore
+//     directive saying so;
+//  3. goroutine closures writing variables captured from the enclosing
+//     scope — unsynchronized shared writes race, and even synchronized ones
+//     make results depend on goroutine scheduling; the sanctioned pattern
+//     (sim.Sweep's executor) writes disjoint pre-allocated slots and
+//     collects in deterministic order;
+//  4. package-level RNG state (*rand.Rand / rand.Source variables) — a
+//     global generator couples supposedly independent simulations through
+//     function indirection seededrand's call-site check cannot follow.
+var DetFlow = &Analyzer{
+	Name: "detflow",
+	Doc: "flag nondeterminism routes in simulator code: map iteration " +
+		"feeding measure.Series, wall-clock reads in result computation, " +
+		"goroutine closures writing captured variables, and package-level " +
+		"RNG state",
+	Run: runDetFlow,
+}
+
+// isDeterministicPackage reports whether the package carries the
+// reproducibility contract. All internal simulation packages do; the lint
+// tool itself and the CLI front-ends (progress timers, interactive output)
+// do not.
+func isDeterministicPackage(path string) bool {
+	if strings.Contains(path, "internal/lint") {
+		return false
+	}
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}
+
+func runDetFlow(pass *Pass) {
+	det := isDeterministicPackage(pass.Pkg.Path)
+	inspect(pass, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			checkMapRangeSeries(pass, s)
+		case *ast.CallExpr:
+			if det {
+				checkWallClock(pass, s)
+			}
+		case *ast.GoStmt:
+			if det {
+				checkGoroutineCapture(pass, s)
+			}
+		case *ast.GenDecl:
+			checkGlobalRNGState(pass, s)
+		}
+		return true
+	})
+}
+
+// seriesOrderingMethods are the measure-package methods whose call order
+// determines result layout.
+var seriesOrderingMethods = map[string]map[string]bool{
+	"Series": {"Add": true, "AddPoint": true},
+	"Figure": {"AddSeries": true},
+}
+
+// isMeasureOrderingCall reports whether the call appends to a measure.Series
+// or measure.Figure (whose point/series order is the result's layout).
+func isMeasureOrderingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil || tn.Pkg().Name() != "measure" {
+		return "", false
+	}
+	methods, ok := seriesOrderingMethods[tn.Name()]
+	if !ok || !methods[fn.Name()] {
+		return "", false
+	}
+	return tn.Name() + "." + fn.Name(), true
+}
+
+// checkMapRangeSeries flags for-range over a map whose body feeds a
+// measure.Series or measure.Figure.
+func checkMapRangeSeries(pass *Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.Pkg.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, ok := tv.Type.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := isMeasureOrderingCall(pass, call); ok {
+			pass.Reportf(call.Pos(),
+				"collect the keys into a slice, sort it, and iterate that instead",
+				"%s called from a map-range body: map iteration order is randomized, so the series layout differs run to run", name)
+		}
+		return true
+	})
+}
+
+// wallClockFuncs are the time-package entry points that read the clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// checkWallClock flags clock reads inside the deterministic packages.
+func checkWallClock(pass *Pass, call *ast.CallExpr) {
+	fn := pkgFunc(pass, call.Fun)
+	if fn == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"results must be a pure function of config and seed; if elapsed time is itself the measurement, justify with //lint:ignore detflow <reason>",
+		"wall-clock read time.%s in deterministic package %s", fn.Name(), pass.Pkg.Path)
+}
+
+// checkGoroutineCapture flags goroutine closures that assign to variables
+// declared outside the closure.
+func checkGoroutineCapture(pass *Pass, g *ast.GoStmt) {
+	lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	report := func(id *ast.Ident) {
+		obj, ok := pass.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || obj.Pos() == token.NoPos {
+			return
+		}
+		// Declared inside the closure (including its parameters): local.
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return
+		}
+		pass.Reportf(id.Pos(),
+			"have the goroutine write a disjoint pre-allocated slot or send on a channel, and collect in deterministic order (see sim.Sweep)",
+			"goroutine closure writes captured variable %q: result depends on scheduling order", id.Name)
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					report(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := unparen(s.X).(*ast.Ident); ok {
+				report(id)
+			}
+		}
+		return true
+	})
+}
+
+// checkGlobalRNGState flags package-level variables holding math/rand
+// generator or source state.
+func checkGlobalRNGState(pass *Pass, decl *ast.GenDecl) {
+	if decl.Tok != token.VAR {
+		return
+	}
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj, ok := pass.Pkg.Info.Defs[name].(*types.Var)
+			if !ok || obj.Parent() != pass.Pkg.TPkg.Scope() {
+				continue // not package-level
+			}
+			if !isRandStateType(obj.Type()) {
+				continue
+			}
+			pass.Reportf(name.Pos(),
+				"thread a rand.New(rand.NewSource(seed)) instance through constructors instead of sharing one globally",
+				"package-level RNG state %q: shared generator couples independent simulations and races under parallel sweeps", name.Name)
+		}
+	}
+}
+
+// isRandStateType reports whether the type is math/rand generator or source
+// state (possibly behind a pointer).
+func isRandStateType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	tn := named.Obj()
+	if tn.Pkg() == nil || !randPkgs[tn.Pkg().Path()] {
+		return false
+	}
+	switch tn.Name() {
+	case "Rand", "Source", "Source64", "PCG", "ChaCha8", "Zipf":
+		return true
+	}
+	return false
+}

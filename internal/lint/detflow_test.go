@@ -1,0 +1,234 @@
+package lint
+
+import "testing"
+
+func TestDetFlowWallClock(t *testing.T) {
+	src := `package sim
+
+import "time"
+
+func run() float64 {
+	start := time.Now()
+	work()
+	return time.Since(start).Seconds()
+}
+
+func work() {}
+`
+	t.Run("flagged in deterministic package", func(t *testing.T) {
+		diags := analyzeFixture(t, "example.com/m/internal/sim", src, DetFlow)
+		checkFindings(t, diags, []finding{
+			{6, "wall-clock read time.Now"},
+			{8, "wall-clock read time.Since"},
+		})
+	})
+	t.Run("front-end packages are exempt", func(t *testing.T) {
+		diags := analyzeFixture(t, "example.com/m/cmd/tool", src, DetFlow)
+		checkFindings(t, diags, nil)
+	})
+	t.Run("ignore directive suppresses", func(t *testing.T) {
+		justified := `package sim
+
+import "time"
+
+func run() float64 {
+	//lint:ignore detflow elapsed time is itself the measurement here
+	start := time.Now()
+	work()
+	//lint:ignore detflow elapsed time is itself the measurement here
+	return time.Since(start).Seconds()
+}
+
+func work() {}
+`
+		diags := analyzeFixture(t, "example.com/m/internal/sim", justified, DetFlow)
+		checkFindings(t, diags, nil)
+	})
+}
+
+func TestDetFlowGoroutineCapture(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []finding
+	}{
+		{
+			name: "captured scalar write flagged",
+			src: `package sim
+
+func run() float64 {
+	total := 0.0
+	done := make(chan struct{})
+	go func() {
+		total = 1.5
+		close(done)
+	}()
+	<-done
+	return total
+}
+`,
+			want: []finding{
+				{7, `goroutine closure writes captured variable "total"`},
+			},
+		},
+		{
+			name: "captured counter increment flagged",
+			src: `package sim
+
+func run() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n++
+		close(done)
+	}()
+	<-done
+	return n
+}
+`,
+			want: []finding{
+				{7, `goroutine closure writes captured variable "n"`},
+			},
+		},
+		{
+			name: "disjoint slot writes are the sanctioned pattern",
+			src: `package sim
+
+func run(pts []float64) {
+	done := make(chan struct{})
+	go func() {
+		pts[0] = 1.5
+		close(done)
+	}()
+	<-done
+}
+`,
+			want: nil,
+		},
+		{
+			name: "closure-local variables are fine",
+			src: `package sim
+
+func run() {
+	done := make(chan struct{})
+	go func() {
+		local := 0.0
+		local = local + 1
+		_ = local
+		close(done)
+	}()
+	<-done
+}
+`,
+			want: nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkFindings(t, analyzeFixture(t, "example.com/m/internal/sim", c.src, DetFlow), c.want)
+		})
+	}
+}
+
+func TestDetFlowGlobalRNGState(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []finding
+	}{
+		{
+			name: "package-level generator flagged",
+			src: `package sim
+
+import "math/rand"
+
+var rng = rand.New(rand.NewSource(1))
+`,
+			want: []finding{
+				{5, `package-level RNG state "rng"`},
+			},
+		},
+		{
+			name: "package-level source flagged",
+			src: `package sim
+
+import "math/rand"
+
+var src rand.Source = rand.NewSource(7)
+`,
+			want: []finding{
+				{5, `package-level RNG state "src"`},
+			},
+		},
+		{
+			name: "function-local generator is clean",
+			src: `package sim
+
+import "math/rand"
+
+func draw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+`,
+			want: nil,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			checkFindings(t, analyzeFixture(t, "example.com/m/internal/sim", c.src, DetFlow), c.want)
+		})
+	}
+}
+
+// TestDetFlowMapRangeSeries needs a real package named measure on the other
+// side of an import, so it builds a temp module instead of a single fixture.
+func TestDetFlowMapRangeSeries(t *testing.T) {
+	measureSrc := `package measure
+
+// Series accumulates points in call order.
+type Series struct{ Xs, Ys []float64 }
+
+// AddPoint appends one point.
+func (s *Series) AddPoint(x, y float64) {
+	s.Xs = append(s.Xs, x)
+	s.Ys = append(s.Ys, y)
+}
+`
+	t.Run("map-range feeding AddPoint flagged", func(t *testing.T) {
+		_, pkgs := loadTempModule(t, "fixture.example/det", map[string]string{
+			"internal/measure/measure.go": measureSrc,
+			"internal/sim/sim.go": `package sim
+
+import "fixture.example/det/internal/measure"
+
+func Plot(results map[int]float64, s *measure.Series) {
+	for snr, ber := range results {
+		s.AddPoint(float64(snr), ber)
+	}
+}
+`,
+		})
+		diags := Run(pkgs, []*Analyzer{DetFlow})
+		checkFindings(t, diags, []finding{
+			{7, "Series.AddPoint called from a map-range body"},
+		})
+	})
+	t.Run("slice-range feeding AddPoint is clean", func(t *testing.T) {
+		_, pkgs := loadTempModule(t, "fixture.example/det", map[string]string{
+			"internal/measure/measure.go": measureSrc,
+			"internal/sim/sim.go": `package sim
+
+import "fixture.example/det/internal/measure"
+
+func Plot(results []float64, s *measure.Series) {
+	for i, ber := range results {
+		s.AddPoint(float64(i), ber)
+	}
+}
+`,
+		})
+		diags := Run(pkgs, []*Analyzer{DetFlow})
+		checkFindings(t, diags, nil)
+	})
+}

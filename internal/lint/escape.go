@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape gate is the static complement to the runtime AllocsPerRun
+// tests: it holds every function annotated //lint:hotpath to a
+// no-heap-escape contract, checked against the compiler's own escape
+// analysis (go build -gcflags=-m) rather than an AST approximation. The
+// runtime gates catch a steady-state allocation only on the configurations
+// a test happens to run; the compiler sees every path, including inlined
+// callees, closures and error branches the race-instrumented test run never
+// takes.
+//
+// Intended escapes — a lazy buffer grow, an error-path fmt argument —
+// carry //lint:ignore escape <reason> on the offending line, which keeps
+// each allocation site visible and justified instead of silently tolerated.
+
+// hotpathPrefix is the directive marking a function as part of the declared
+// hot-path set. It must appear in the doc comment of a function declaration.
+const hotpathPrefix = "//lint:hotpath"
+
+// escapePattern matches one compiler diagnostic line: path:line:col: msg.
+var escapePattern = regexp.MustCompile(`^(.+\.go):([0-9]+):([0-9]+): (.*)$`)
+
+// hotSpan is the source range of one annotated function.
+type hotSpan struct {
+	file       string // absolute path
+	start, end int    // line range, inclusive
+	name       string // display name for diagnostics
+}
+
+// funcDisplayName renders Recv.Name or Name for diagnostics.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if s, ok := t.(*ast.StarExpr); ok {
+			t = s.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+	}
+	return fd.Name.Name
+}
+
+// hasHotpathDirective reports whether the doc comment carries the directive.
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == hotpathPrefix || strings.HasPrefix(c.Text, hotpathPrefix+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// EscapeCheck runs the compiler-backed allocation gate over the packages:
+// it collects every //lint:hotpath-annotated function, compiles the packages
+// that contain one with -gcflags=-m, and reports each "escapes to heap" /
+// "moved to heap" diagnostic falling inside an annotated function that is
+// not suppressed by a //lint:ignore escape directive. With opts.StaleIgnores
+// it also reports escape-ignore directives that suppressed nothing, and it
+// always reports //lint:hotpath directives not attached to a function.
+// The returned error covers infrastructure failures (the build itself
+// failing), not findings.
+func EscapeCheck(pkgs []*Package, opts Options) ([]Diagnostic, error) {
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	known := knownDirectiveNames()
+	var (
+		out     []Diagnostic
+		spans   []hotSpan
+		hotPkgs []*Package
+		ignores = make(ignoreSet)
+	)
+	for _, pkg := range pkgs {
+		ig, _ := collectIgnores(pkg, known) // malformed directives are the AST run's report
+		for file, lines := range ig {
+			ignores[file] = lines
+		}
+		hot := false
+		for _, f := range pkg.Files {
+			inDoc := make(map[*ast.Comment]bool)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				if fd.Doc != nil {
+					for _, c := range fd.Doc.List {
+						inDoc[c] = true
+					}
+				}
+				if !hasHotpathDirective(fd.Doc) {
+					continue
+				}
+				hot = true
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				spans = append(spans, hotSpan{
+					file:  start.Filename,
+					start: start.Line,
+					end:   end.Line,
+					name:  funcDisplayName(fd),
+				})
+			}
+			// A hotpath directive outside a function doc comment guards
+			// nothing — surface it instead of silently skipping.
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !inDoc[c] && (c.Text == hotpathPrefix || strings.HasPrefix(c.Text, hotpathPrefix+" ")) {
+						out = append(out, Diagnostic{
+							Pos:      pkg.Fset.Position(c.Slash),
+							Analyzer: EscapeAnalyzerName,
+							Severity: SeverityError,
+							Message:  "//lint:hotpath directive is not in the doc comment of a function declaration",
+							Hint:     "move the directive into the doc comment of the function it guards",
+						})
+					}
+				}
+			}
+		}
+		if hot {
+			hotPkgs = append(hotPkgs, pkg)
+		}
+	}
+
+	if len(hotPkgs) > 0 {
+		diags, err := compileEscapes(hotPkgs, spans, ignores)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	if opts.StaleIgnores {
+		out = append(out, ignores.stale(func(name string) bool {
+			return name == EscapeAnalyzerName
+		})...)
+	}
+	sortDiagnostics(out)
+	return out, nil
+}
+
+// compileEscapes builds the hot packages with -gcflags=-m and maps the
+// compiler's escape diagnostics onto the annotated spans.
+func compileEscapes(hotPkgs []*Package, spans []hotSpan, ignores ignoreSet) ([]Diagnostic, error) {
+	moduleDir, err := findModuleRoot(hotPkgs[0].Dir)
+	if err != nil {
+		return nil, err
+	}
+	args := []string{"build", "-gcflags=-m"}
+	for _, pkg := range hotPkgs {
+		rel, err := filepath.Rel(moduleDir, pkg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, "./"+filepath.ToSlash(rel))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleDir
+	// -m diagnostics go to stderr; so do build errors. The build cache
+	// replays diagnostics for cached compiles, so no -a is needed.
+	outBytes, runErr := cmd.CombinedOutput()
+	if runErr != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), runErr, outBytes)
+	}
+
+	spansByFile := make(map[string][]hotSpan)
+	for _, s := range spans {
+		spansByFile[s.file] = append(spansByFile[s.file], s)
+	}
+	sort.Slice(spans, func(i, j int) bool { return spans[i].file < spans[j].file })
+
+	var out []Diagnostic
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		m := escapePattern.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(moduleDir, file)
+		}
+		lineNo, _ := strconv.Atoi(m[2])
+		colNo, _ := strconv.Atoi(m[3])
+		key := fmt.Sprintf("%s:%d:%d:%s", file, lineNo, colNo, msg)
+		if seen[key] {
+			continue // the compiler repeats planar-pair allocations
+		}
+		seen[key] = true
+		for _, s := range spansByFile[file] {
+			if lineNo < s.start || lineNo > s.end {
+				continue
+			}
+			d := Diagnostic{
+				Pos:      token.Position{Filename: file, Line: lineNo, Column: colNo},
+				Analyzer: EscapeAnalyzerName,
+				Severity: SeverityError,
+				Message:  fmt.Sprintf("heap escape in //lint:hotpath function %s: %s", s.name, msg),
+				Hint:     "keep hot-path functions allocation-free (caller-owned buffers, constructors for growth), or justify with //lint:ignore escape <reason>",
+			}
+			if !ignores.suppressed(d) {
+				out = append(out, d)
+			}
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// The escape-gate tests invoke the real go toolchain on a temp module, so
+// each case costs a compile; they are the fixture-level proof that the gate
+// catches what the AST-level hotpathexp analyzer cannot — an actual heap
+// escape decided by the compiler.
+
+func TestEscapeCheckFlagsHotpathEscape(t *testing.T) {
+	_, pkgs := loadTempModule(t, "fixture.example/esc", map[string]string{
+		"hot/hot.go": `package hot
+
+// Leak returns a fresh slice, forcing the make to escape.
+//
+//lint:hotpath
+func Leak(n int) []int {
+	return make([]int, n)
+}
+`,
+	})
+	diags, err := EscapeCheck(pkgs, Options{})
+	if err != nil {
+		t.Fatalf("EscapeCheck: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d finding(s) %v, want 1", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != EscapeAnalyzerName || d.Severity != SeverityError {
+		t.Errorf("finding is %s/%s, want escape/error", d.Analyzer, d.Severity)
+	}
+	if !strings.Contains(d.Message, "heap escape in //lint:hotpath function Leak") {
+		t.Errorf("message %q does not name the hotpath function", d.Message)
+	}
+}
+
+func TestEscapeCheckIgnoreDirective(t *testing.T) {
+	src := `package hot
+
+// Leak returns a fresh slice; the escape is the documented contract.
+//
+//lint:hotpath
+func Leak(n int) []int {
+	//lint:ignore escape the caller owns the returned slice by design
+	return make([]int, n)
+}
+`
+	_, pkgs := loadTempModule(t, "fixture.example/esc", map[string]string{"hot/hot.go": src})
+	diags, err := EscapeCheck(pkgs, Options{StaleIgnores: true})
+	if err != nil {
+		t.Fatalf("EscapeCheck: %v", err)
+	}
+	// The directive suppresses the escape AND counts as used, so neither an
+	// escape nor a staleignore finding survives.
+	if len(diags) != 0 {
+		t.Fatalf("got %d finding(s) %v, want 0", len(diags), diags)
+	}
+}
+
+func TestEscapeCheckStaleIgnore(t *testing.T) {
+	src := `package hot
+
+// Sum allocates nothing; the directive below it suppresses nothing.
+//
+//lint:hotpath
+func Sum(xs []int) int {
+	total := 0
+	//lint:ignore escape nothing escapes here anymore
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+`
+	_, pkgs := loadTempModule(t, "fixture.example/esc", map[string]string{"hot/hot.go": src})
+	diags, err := EscapeCheck(pkgs, Options{StaleIgnores: true})
+	if err != nil {
+		t.Fatalf("EscapeCheck: %v", err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != StaleIgnoreAnalyzerName {
+		t.Fatalf("got %v, want exactly one staleignore finding", diags)
+	}
+	// Without StaleIgnores the unused directive is tolerated.
+	diags, err = EscapeCheck(pkgs, Options{})
+	if err != nil {
+		t.Fatalf("EscapeCheck: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want no findings without StaleIgnores", diags)
+	}
+}
+
+func TestEscapeCheckStrayHotpathDirective(t *testing.T) {
+	src := `package hot
+
+//lint:hotpath
+
+var x = 3
+`
+	_, pkgs := loadTempModule(t, "fixture.example/esc", map[string]string{"hot/hot.go": src})
+	diags, err := EscapeCheck(pkgs, Options{})
+	if err != nil {
+		t.Fatalf("EscapeCheck: %v", err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "not in the doc comment of a function declaration") {
+		t.Fatalf("got %v, want one stray-directive finding", diags)
+	}
+}
+
+func TestEscapeCheckCleanHotpath(t *testing.T) {
+	src := `package hot
+
+// Scale multiplies in place: nothing escapes.
+//
+//lint:hotpath
+func Scale(xs []float64, k float64) {
+	for i := range xs {
+		xs[i] *= k
+	}
+}
+`
+	_, pkgs := loadTempModule(t, "fixture.example/esc", map[string]string{"hot/hot.go": src})
+	diags, err := EscapeCheck(pkgs, Options{StaleIgnores: true})
+	if err != nil {
+		t.Fatalf("EscapeCheck: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("got %v, want no findings", diags)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -14,6 +16,13 @@ import (
 // analyzeFixture type-checks one fixture file as package path and runs the
 // given analyzers over it.
 func analyzeFixture(t *testing.T, path, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	return analyzeFixtureOpts(t, path, src, Options{}, analyzers...)
+}
+
+// analyzeFixtureOpts is analyzeFixture with explicit run options (e.g. stale
+// ignore-directive detection).
+func analyzeFixtureOpts(t *testing.T, path, src string, opts Options, analyzers ...*Analyzer) []Diagnostic {
 	t.Helper()
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
@@ -27,7 +36,34 @@ func analyzeFixture(t *testing.T, path, src string, analyzers ...*Analyzer) []Di
 		t.Fatalf("type-check fixture: %v", err)
 	}
 	pkg := &Package{Path: path, Dir: ".", Fset: fset, Files: []*ast.File{f}, TPkg: tpkg, Info: info}
-	return Run([]*Package{pkg}, analyzers)
+	return RunOpts([]*Package{pkg}, analyzers, opts)
+}
+
+// loadTempModule writes the files (paths relative to the module root, which
+// gets a go.mod automatically) into a temp directory and loads every package
+// in it. Used by the cross-package and escape-gate tests, which need real
+// package boundaries rather than a single fixture file.
+func loadTempModule(t *testing.T, modpath string, files map[string]string) (string, []*Package) {
+	t.Helper()
+	dir := t.TempDir()
+	all := map[string]string{"go.mod": "module " + modpath + "\n\ngo 1.22\n"}
+	for name, src := range files {
+		all[name] = src
+	}
+	for name, src := range all {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := LoadPackages(dir, []string{dir + string(filepath.Separator) + "..."})
+	if err != nil {
+		t.Fatalf("loading temp module: %v", err)
+	}
+	return dir, pkgs
 }
 
 // finding is one expected diagnostic: the line it lands on and a substring
@@ -397,5 +433,43 @@ func cmp(a, b float64) bool {
 }
 `
 		checkFindings(t, analyzeFixture(t, "example.com/m/internal/sim", src, All()...), nil)
+	})
+}
+
+func TestStaleIgnores(t *testing.T) {
+	stale := `package sim
+
+//lint:ignore floateq nothing on this line compares floats anymore
+var x = 3
+`
+	t.Run("unused directive reported with StaleIgnores", func(t *testing.T) {
+		diags := analyzeFixtureOpts(t, "example.com/m/internal/sim", stale, Options{StaleIgnores: true}, All()...)
+		checkFindings(t, diags, []finding{{3, "suppresses no diagnostic"}})
+	})
+	t.Run("unused directive tolerated by default", func(t *testing.T) {
+		checkFindings(t, analyzeFixture(t, "example.com/m/internal/sim", stale, All()...), nil)
+	})
+	t.Run("used directive is not stale", func(t *testing.T) {
+		src := `package sim
+
+func cmp(a, b float64) bool {
+	//lint:ignore floateq bit-exact golden comparison is the point here
+	return a == b
+}
+`
+		diags := analyzeFixtureOpts(t, "example.com/m/internal/sim", src, Options{StaleIgnores: true}, All()...)
+		checkFindings(t, diags, nil)
+	})
+	t.Run("escape directives are the escape gate's accounting", func(t *testing.T) {
+		// An unused //lint:ignore escape must NOT be reported by the AST
+		// run: only EscapeCheck knows whether it suppressed a compiler
+		// diagnostic.
+		src := `package sim
+
+//lint:ignore escape accounted for by EscapeCheck, not the AST run
+var x = 3
+`
+		diags := analyzeFixtureOpts(t, "example.com/m/internal/sim", src, Options{StaleIgnores: true}, All()...)
+		checkFindings(t, diags, nil)
 	})
 }

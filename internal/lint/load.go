@@ -44,20 +44,9 @@ type Loader struct {
 
 // NewLoader locates the module containing dir and prepares a loader for it.
 func NewLoader(dir string) (*Loader, error) {
-	abs, err := filepath.Abs(dir)
+	moduleDir, err := findModuleRoot(dir)
 	if err != nil {
 		return nil, err
-	}
-	moduleDir := abs
-	for {
-		if _, err := os.Stat(filepath.Join(moduleDir, "go.mod")); err == nil {
-			break
-		}
-		parent := filepath.Dir(moduleDir)
-		if parent == moduleDir {
-			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
-		}
-		moduleDir = parent
 	}
 	modulePath, err := readModulePath(filepath.Join(moduleDir, "go.mod"))
 	if err != nil {

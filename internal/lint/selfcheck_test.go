@@ -40,7 +40,31 @@ func TestSuiteCleanOnTree(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
 	}
-	for _, d := range Run(pkgs, All()) {
+	// StaleIgnores on: every //lint:ignore directive in the tree must still
+	// be earning its keep.
+	for _, d := range RunOpts(pkgs, All(), Options{StaleIgnores: true}) {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+// TestEscapeCleanOnTree runs the compiler-backed escape gate over the whole
+// module and requires zero findings: every //lint:hotpath function either
+// triggers no escape diagnostics or justifies each one with an ignore
+// directive, and no escape-ignore directive is stale.
+func TestEscapeCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the hot packages with -gcflags=-m; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	pkgs, err := LoadPackages(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	diags, err := EscapeCheck(pkgs, Options{StaleIgnores: true})
+	if err != nil {
+		t.Fatalf("EscapeCheck: %v", err)
+	}
+	for _, d := range diags {
 		t.Errorf("unexpected finding: %s", d)
 	}
 }

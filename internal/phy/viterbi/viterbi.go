@@ -86,8 +86,11 @@ func (d *Decoder) DecodeSoft(soft []float64) ([]byte, error) {
 // DecodeSoftInto is DecodeSoft writing the decoded bits into dst (grown if
 // its capacity is short, reused otherwise). It allocates nothing when dst
 // and the decoder scratch are already large enough.
+//
+//lint:hotpath
 func (d *Decoder) DecodeSoftInto(dst []byte, soft []float64) ([]byte, error) {
 	if len(soft)%2 != 0 {
+		//lint:ignore escape error path only: the formatted length argument boxes
 		return nil, fmt.Errorf("viterbi: soft stream length %d is odd", len(soft))
 	}
 	steps := len(soft) / 2
@@ -101,6 +104,7 @@ func (d *Decoder) DecodeSoftInto(dst []byte, soft []float64) ([]byte, error) {
 	d.metricA[0] = 0 // encoder starts in the zero state
 
 	if cap(d.decisions) < steps {
+		//lint:ignore escape one-time scratch grow, amortized across decodes
 		d.decisions = make([]uint64, steps)
 	}
 	decisions := d.decisions[:steps]
@@ -127,6 +131,7 @@ func (d *Decoder) DecodeSoftInto(dst []byte, soft []float64) ([]byte, error) {
 	// register to reach the survivor state, i.e. its top register bit;
 	// the decision bit recovers which predecessor to step back to.
 	if cap(dst) < steps {
+		//lint:ignore escape grows only when the caller's buffer is short
 		dst = make([]byte, steps)
 	}
 	out := dst[:steps]
@@ -141,8 +146,11 @@ func (d *Decoder) DecodeSoftInto(dst []byte, soft []float64) ([]byte, error) {
 
 // DecodeHard decodes hard-decision coded bits (the interleaved A/B stream of
 // the encoder). Bits beyond 1 are rejected.
+//
+//lint:hotpath
 func (d *Decoder) DecodeHard(coded []byte) ([]byte, error) {
 	if cap(d.soft) < len(coded) {
+		//lint:ignore escape one-time scratch grow, amortized across decodes
 		d.soft = make([]float64, len(coded))
 	}
 	soft := d.soft[:len(coded)]
@@ -153,6 +161,7 @@ func (d *Decoder) DecodeHard(coded []byte) ([]byte, error) {
 		case 1:
 			soft[i] = -1
 		default:
+			//lint:ignore escape error path only: the formatted arguments box
 			return nil, fmt.Errorf("viterbi: value %d at index %d is not a bit", b, i)
 		}
 	}

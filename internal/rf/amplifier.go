@@ -162,6 +162,8 @@ func (a *Amplifier) Reset() {
 }
 
 // ProcessSample amplifies one sample.
+//
+//lint:hotpath
 func (a *Amplifier) ProcessSample(x complex128) complex128 {
 	if a.noise != nil {
 		x += complex(a.noise.NormFloat64()*a.nsig, a.noise.NormFloat64()*a.nsig)
@@ -193,6 +195,8 @@ func (a *Amplifier) ProcessSample(x complex128) complex128 {
 
 // applyAMPM rotates the sample by the Saleh-style AM/PM phase: proportional
 // to the instantaneous compression depth in dB.
+//
+//lint:hotpath
 func (a *Amplifier) applyAMPM(y complex128, inAmp float64) complex128 {
 	if a.cfg.AMPMDegPerDB == 0 || inAmp == 0 {
 		return y
@@ -208,6 +212,8 @@ func (a *Amplifier) applyAMPM(y complex128, inAmp float64) complex128 {
 }
 
 // Process amplifies a frame in place and returns it.
+//
+//lint:hotpath
 func (a *Amplifier) Process(x []complex128) []complex128 {
 	for i, v := range x {
 		x[i] = a.ProcessSample(v)

@@ -108,6 +108,8 @@ const loRenormInterval = 512
 // increment exceeds the small-angle bound), so amplitude and phase drift
 // stay below ~3e-9 rad — orders of magnitude under the phase-noise process
 // being modeled.
+//
+//lint:hotpath
 func (l *LO) Next() complex128 {
 	v := l.phasor
 	d := l.step
@@ -134,6 +136,8 @@ func (l *LO) Next() complex128 {
 // the precomputed period table (each value the exact Sincos of its rational
 // phase); all others run the Next recurrence sample by sample, so frame fills
 // and streaming calls draw the identical phase-noise trajectory.
+//
+//lint:hotpath
 func (l *LO) fill(re, im []float64) {
 	if l.table != nil {
 		l.table.Fill(re, im)
@@ -280,6 +284,8 @@ func (m *Mixer) Reset() {
 }
 
 // ProcessSample mixes one sample.
+//
+//lint:hotpath
 func (m *Mixer) ProcessSample(x complex128) complex128 {
 	if m.noise != nil {
 		x += complex(m.noise.NormFloat64()*m.nsig, m.noise.NormFloat64()*m.nsig)
@@ -302,6 +308,8 @@ func (m *Mixer) ProcessSample(x complex128) complex128 {
 // complex arithmetic operation for operation. (The one intended exception is
 // a noiseless rational-ratio LO, whose frame fills use the exact period
 // table rather than the incremental recurrence; see LO.fill.)
+//
+//lint:hotpath
 func (m *Mixer) Process(x []complex128) []complex128 {
 	if len(x) == 0 {
 		return x
@@ -311,11 +319,13 @@ func (m *Mixer) Process(x []complex128) []complex128 {
 			x[i] += complex(m.noise.NormFloat64()*m.nsig, m.noise.NormFloat64()*m.nsig)
 		}
 	}
+	//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
 	m.xv.From(x)
 	mur, mui := real(m.mu), imag(m.mu)
 	nur, nui := real(m.nu), imag(m.nu)
 	dcr, dci := real(m.dc), imag(m.dc)
 	if m.lo != nil {
+		//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
 		m.lov.Grow(len(x))
 		m.lo.fill(m.lov.Re, m.lov.Im)
 		kernels.MixApplyLO(m.xv.Re, m.xv.Im, m.lov.Re, m.lov.Im,

@@ -27,6 +27,8 @@ type chanEstimator struct {
 // estimateInto computes the channel estimate from the two long training
 // symbols starting at t1 within x, writing the result into est.H (grown on
 // first use, reused afterwards).
+//
+//lint:hotpath
 func (ce *chanEstimator) estimateInto(est *ChannelEstimate, x []complex128, t1 int) error {
 	if t1 < 0 || t1+128 > len(x) {
 		return fmt.Errorf("rxdsp: long training symbols out of range")
@@ -37,7 +39,9 @@ func (ce *chanEstimator) estimateInto(est *ChannelEstimate, x []complex128, t1 i
 		return err
 	}
 	if cap(ce.sum) < phy.FFTSize {
+		//lint:ignore escape first-use scratch growth, reused afterwards
 		ce.sum = make([]complex128, phy.FFTSize)
+		//lint:ignore escape first-use scratch growth, reused afterwards
 		ce.sym = make([]complex128, phy.FFTSize)
 	}
 	sum := ce.sum[:phy.FFTSize]
@@ -53,6 +57,7 @@ func (ce *chanEstimator) estimateInto(est *ChannelEstimate, x []complex128, t1 i
 		}
 	}
 	if cap(est.H) < phy.FFTSize {
+		//lint:ignore escape first-use estimate buffer growth, reused afterwards
 		est.H = make([]complex128, phy.FFTSize)
 	}
 	h := est.H[:phy.FFTSize]
@@ -111,6 +116,8 @@ type eqScratch struct {
 // out and their CSI weights (|H|^2) into csi (both of length
 // phy.NumDataCarriers). mmseReg is the MMSE regularization term
 // (noise-to-signal power ratio); 0 selects zero-forcing.
+//
+//lint:hotpath
 func (q *eqScratch) equalize(out []complex128, csi []float64, sym []complex128, est *ChannelEstimate, symbolIndex int, mmseReg float64) error {
 	spec, err := phy.DemodulateSymbolInto(q.spec, sym)
 	if err != nil {
@@ -222,12 +229,12 @@ type Receiver struct {
 	ReuseBuffers bool
 
 	// Reusable scratch; see Reset.
-	notch   *dsp.IIR
-	buf     []complex128
-	work    []complex128
-	ce      chanEstimator
-	est     ChannelEstimate
-	q       eqScratch
+	notch    *dsp.IIR
+	buf      []complex128
+	work     []complex128
+	ce       chanEstimator
+	est      ChannelEstimate
+	q        eqScratch
 	sigData  []complex128
 	sigCSI   []float64
 	csiBack  []float64

@@ -16,22 +16,28 @@ import (
 )
 
 // cmdWaterfall prints BER-vs-SNR curves for a set of rates (ideal front
-// end, pure PHY performance).
+// end by default; -behavioral runs the full analog line-up, where -batch
+// dispatches SNR points through the lock-step batched pipeline).
 func cmdWaterfall(args []string) error {
 	fs := flag.NewFlagSet("waterfall", flag.ExitOnError)
 	cfg, _ := benchFlags(fs)
 	lo := fs.Float64("from", 2, "lowest SNR (dB)")
 	hi := fs.Float64("to", 30, "highest SNR (dB)")
 	n := fs.Int("points", 8, "sweep points")
+	behavioral := fs.Bool("behavioral", false, "run the behavioral analog front end instead of the ideal one")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	base := *cfg
-	fig, err := core.WaterfallBERvsSNR(base, []int{6, 12, 24, 54}, sim.Linspace(*lo, *hi, *n))
+	fe, feName := core.FrontEndIdeal, "ideal"
+	if *behavioral {
+		fe, feName = core.FrontEndBehavioral, "behavioral"
+	}
+	fig, err := core.WaterfallBERvsSNROnFrontEnd(base, fe, []int{6, 12, 24, 54}, sim.Linspace(*lo, *hi, *n))
 	if err != nil {
 		return err
 	}
-	fig.Title = "BER vs SNR per 802.11a mode (ideal front end)"
+	fig.Title = fmt.Sprintf("BER vs SNR per 802.11a mode (%s front end)", feName)
 	fmt.Print(fig.String())
 	printCacheStats(fig.Series...)
 	return nil

@@ -134,6 +134,13 @@ type Config struct {
 	// identical for every value: each point and each packet derives its
 	// seeds from Seed via internal/seed, never from execution order.
 	Workers int
+	// Batch, when > 1, lets sweep harnesses dispatch that many equal-config
+	// points (noise-only sweeps over the behavioral front end) through the
+	// lock-step batched pipeline (RunBenchBatch). Results are bit-identical
+	// for every value — batching changes wall-clock only, as the batch
+	// differential tests pin. Ragged tail groups and unsupported sweep shapes
+	// fall back to the sequential path automatically.
+	Batch int
 	// TargetErrors, when > 0, stops a bench run early once the accumulated
 	// bit-error count reaches it (Packets stays the upper bound). Sweep
 	// points record the confidence interval of the bits actually
@@ -696,8 +703,7 @@ func (b *Bench) Run() (*Result, error) {
 		b.noiseRestart.Restart()
 	}
 	res := &Result{OversampleFactor: os, FrontEnd: b.cfg.FrontEnd}
-	var evmAcc float64
-	var evmSymbols, evmRuns int
+	var evm evmAccum
 
 	for p := 0; p < b.cfg.Packets; p++ {
 		refBits, wave, boundary, err := b.packetPrefix(p, os)
@@ -727,45 +733,70 @@ func (b *Bench) Run() (*Result, error) {
 			baseband = fe.Process(wave)
 		}
 
-		var pkt *rxdsp.PacketResult
-		var rxErr error
-		if b.cfg.UseIdealRxTiming {
-			if b.irx == nil {
-				b.irx = &rxdsp.IdealReceiver{Mode: mode, PSDULen: b.cfg.PSDULen, ReuseBuffers: true}
-			}
-			pkt, rxErr = b.irx.Receive(baseband, leadInSamples)
-		} else {
-			if b.rx == nil {
-				b.rx = rxdsp.NewReceiver()
-				b.rx.HardDecisions = b.cfg.HardDecisions
-				b.rx.DisableCSI = b.cfg.DisableCSI
-				b.rx.ReuseBuffers = true
-			}
-			b.rx.Reset()
-			pkt, rxErr = b.rx.Receive(baseband, 0)
-		}
-		if rxErr != nil {
-			res.Counter.AddLostPacket(len(refBits))
-			if b.cfg.TargetErrors > 0 && res.Counter.Errors >= b.cfg.TargetErrors {
-				break
-			}
-			continue
-		}
-		res.Counter.AddPacket(refBits, bits.FromBytes(pkt.PSDU))
-		if ev, err := measure.EVM(pkt.EqualizedCarriers, mode.Modulation); err == nil {
-			evmAcc += ev.RMS * ev.RMS * float64(ev.Symbols)
-			evmSymbols += ev.Symbols
-			evmRuns++
-		}
-		if b.cfg.TargetErrors > 0 && res.Counter.Errors >= b.cfg.TargetErrors {
+		if b.receivePacket(baseband, refBits, mode, res, &evm) {
 			break
 		}
 	}
-	if evmSymbols > 0 {
+	evm.finish(res)
+	return res, nil
+}
+
+// evmAccum accumulates per-packet decision-directed EVM measurements across
+// one run; finish folds the accumulation into the result.
+type evmAccum struct {
+	acc     float64
+	symbols int
+}
+
+func (e *evmAccum) finish(res *Result) {
+	if e.symbols > 0 {
 		res.EVM = measure.EVMResult{
-			RMS:     math.Sqrt(evmAcc / float64(evmSymbols)),
-			Symbols: evmSymbols,
+			RMS:     math.Sqrt(e.acc / float64(e.symbols)),
+			Symbols: e.symbols,
 		}
 	}
-	return res, nil
+}
+
+// receivePacket runs the DSP receiver over one packet's baseband and folds
+// the outcome (errors, loss, EVM) into res/evm. It reports whether
+// TargetErrors stops the run. Shared by the sequential Run loop and the
+// batched sweep runner so both paths count packets identically.
+func (b *Bench) receivePacket(baseband []complex128, refBits []byte, mode phy.Mode, res *Result, evm *evmAccum) bool {
+	pkt, rxErr := b.receiveDSP(baseband, mode)
+	return b.accountPacket(pkt, rxErr, refBits, mode, res, evm)
+}
+
+// receiveDSP runs the configured DSP receiver over one packet's baseband,
+// creating it lazily on first use (RunBenchBatch pre-creates it to opt the
+// lanes into the deferred-decode batch path).
+func (b *Bench) receiveDSP(baseband []complex128, mode phy.Mode) (*rxdsp.PacketResult, error) {
+	if b.cfg.UseIdealRxTiming {
+		if b.irx == nil {
+			b.irx = &rxdsp.IdealReceiver{Mode: mode, PSDULen: b.cfg.PSDULen, ReuseBuffers: true}
+		}
+		return b.irx.Receive(baseband, leadInSamples)
+	}
+	if b.rx == nil {
+		b.rx = rxdsp.NewReceiver()
+		b.rx.HardDecisions = b.cfg.HardDecisions
+		b.rx.DisableCSI = b.cfg.DisableCSI
+		b.rx.ReuseBuffers = true
+	}
+	b.rx.Reset()
+	return b.rx.Receive(baseband, 0)
+}
+
+// accountPacket folds one packet's receive outcome into the result and EVM
+// accumulator, returning whether the configured error target is reached.
+func (b *Bench) accountPacket(pkt *rxdsp.PacketResult, rxErr error, refBits []byte, mode phy.Mode, res *Result, evm *evmAccum) bool {
+	if rxErr != nil {
+		res.Counter.AddLostPacket(len(refBits))
+		return b.cfg.TargetErrors > 0 && res.Counter.Errors >= b.cfg.TargetErrors
+	}
+	res.Counter.AddPacket(refBits, bits.FromBytes(pkt.PSDU))
+	if ev, err := measure.EVM(pkt.EqualizedCarriers, mode.Modulation); err == nil {
+		evm.acc += ev.RMS * ev.RMS * float64(ev.Symbols)
+		evm.symbols += ev.Symbols
+	}
+	return b.cfg.TargetErrors > 0 && res.Counter.Errors >= b.cfg.TargetErrors
 }

@@ -90,6 +90,45 @@ func BenchmarkSweepFilterBW(b *testing.B) {
 	}
 }
 
+// sweepBatchedConfig is the canonical batched-sweep scenario: a behavioral
+// front-end waterfall at 24 Mbit/s, 8 SNR points, 2 packets per point, one
+// worker (so the measurement isolates batching, not goroutine parallelism).
+func sweepBatchedConfig() (Config, []float64) {
+	base := DefaultConfig()
+	base.FrontEnd = FrontEndBehavioral
+	base.Packets = 2
+	base.PSDULen = 100
+	base.Workers = 1
+	return base, []float64{8, 10, 12, 14, 16, 18, 20, 22}
+}
+
+func runSweepBatched(b *testing.B, batch int) {
+	b.Helper()
+	base, snrs := sweepBatchedConfig()
+	base.Batch = batch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fig, err := WaterfallBERvsSNROnFrontEnd(base, FrontEndBehavioral, []int{24}, snrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 1 || len(fig.Series[0].Points) != len(snrs) {
+			b.Fatalf("unexpected figure shape")
+		}
+	}
+}
+
+// BenchmarkSweepBatched runs the canonical batched-sweep scenario through
+// the lock-step batch pipeline (Batch=8: all points in one batch group).
+// Compare against BenchmarkSweepBatchedSeq — identical workload, identical
+// results, sequential dispatch — for the batching speedup.
+func BenchmarkSweepBatched(b *testing.B) { runSweepBatched(b, 8) }
+
+// BenchmarkSweepBatchedSeq is the sequential-dispatch control for
+// BenchmarkSweepBatched.
+func BenchmarkSweepBatchedSeq(b *testing.B) { runSweepBatched(b, 0) }
+
 // BenchmarkPacketIdeal24 isolates the DSP chain (no RF impairment models):
 // transmitter, AWGN, synchronizing receiver, soft Viterbi.
 func BenchmarkPacketIdeal24(b *testing.B) {

@@ -26,7 +26,17 @@ import (
 // content differs per rate, hence per-curve rather than per-figure caches)
 // and re-draw only the AWGN.
 func WaterfallBERvsSNR(base Config, ratesMbps []int, snrsDB []float64) (*measure.Figure, error) {
-	fig := &measure.Figure{Title: "BER vs channel SNR (ideal front end)"}
+	return WaterfallBERvsSNROnFrontEnd(base, FrontEndIdeal, ratesMbps, snrsDB)
+}
+
+// WaterfallBERvsSNROnFrontEnd is WaterfallBERvsSNR with a selectable analog
+// abstraction level, so waterfalls can also be taken through the behavioral
+// front end (the paper's pure-SPW setup). On the behavioral front end with
+// base.Batch > 1, groups of base.Batch SNR points run through the lock-step
+// batched pipeline (RunBenchBatch); the series is bit-identical for every
+// Batch and Workers value — only wall-clock changes.
+func WaterfallBERvsSNROnFrontEnd(base Config, fe FrontEndKind, ratesMbps []int, snrsDB []float64) (*measure.Figure, error) {
+	fig := &measure.Figure{Title: fmt.Sprintf("BER vs channel SNR (%v front end)", fe)}
 	for _, rate := range ratesMbps {
 		if _, err := phy.ModeByRate(rate); err != nil {
 			return nil, err
@@ -34,6 +44,19 @@ func WaterfallBERvsSNR(base Config, ratesMbps []int, snrsDB []float64) (*measure
 		r := rate
 		rateSeed := seed.ForSeries(base.Seed, uint64(r))
 		cache := newSweepCache(base)
+		pointCfg := func(snr float64) Config {
+			cfg := base
+			cfg.Seed = seed.ForPoint(rateSeed, snr)
+			cfg.ContentSeed = rateSeed
+			cfg.SweptStage = StageNoise
+			cfg.Cache = cache
+			cfg.RateMbps = r
+			cfg.FrontEnd = fe
+			cfg.Interferers = nil
+			s := snr
+			cfg.ChannelSNRdB = &s
+			return cfg
+		}
 		sweep := &sim.Sweep{
 			Name:    fmt.Sprintf("%d Mbps", r),
 			XLabel:  "channel SNR (dB)",
@@ -41,18 +64,18 @@ func WaterfallBERvsSNR(base Config, ratesMbps []int, snrsDB []float64) (*measure
 			Values:  snrsDB,
 			Workers: base.Workers,
 			RunPoint: func(snr float64) (measure.Point, error) {
-				cfg := base
-				cfg.Seed = seed.ForPoint(rateSeed, snr)
-				cfg.ContentSeed = rateSeed
-				cfg.SweptStage = StageNoise
-				cfg.Cache = cache
-				cfg.RateMbps = r
-				cfg.FrontEnd = FrontEndIdeal
-				cfg.Interferers = nil
-				s := snr
-				cfg.ChannelSNRdB = &s
-				return runBERPoint(cfg)
+				return runBERPoint(pointCfg(snr))
 			},
+		}
+		if fe == FrontEndBehavioral && base.Batch > 1 {
+			sweep.BatchSize = base.Batch
+			sweep.RunPointBatch = func(snrs []float64) ([]measure.Point, error) {
+				cfgs := make([]Config, len(snrs))
+				for i, snr := range snrs {
+					cfgs[i] = pointCfg(snr)
+				}
+				return runBERPointBatch(cfgs)
+			}
 		}
 		series, err := sweep.Execute()
 		if err != nil {

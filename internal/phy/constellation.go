@@ -65,12 +65,20 @@ func normalization(m Modulation) float64 {
 	}
 }
 
-// constellationTable holds every point of a constellation with its bit label.
+// constellationTable holds every point of a constellation with its bit label,
+// plus the per-axis factorization the separable soft demapper works from.
 type constellationTable struct {
 	points []complex128
 	labels []int // bit label, LSB = first transmitted bit
 	nbpsc  int
 	kmod   float64
+
+	// Clause-17 constellations are square Gray grids: label bits 0..bitsI-1
+	// select the I amplitude, bits bitsI..nbpsc-1 the Q amplitude, so
+	// points[label] == complex(axisI[label&(2^bitsI-1)], axisQ[label>>bitsI])
+	// (asserted at init). axisQ is the single level 0 for BPSK.
+	axisI, axisQ []float64
+	bitsI, bitsQ int
 }
 
 var tables = map[Modulation]*constellationTable{}
@@ -82,6 +90,34 @@ func init() {
 		for label := 0; label < 1<<n; label++ {
 			t.labels = append(t.labels, label)
 			t.points = append(t.points, mapLabel(m, label))
+		}
+		switch m {
+		case BPSK:
+			t.bitsI, t.bitsQ = 1, 0
+		case QPSK:
+			t.bitsI, t.bitsQ = 1, 1
+		case QAM16:
+			t.bitsI, t.bitsQ = 2, 2
+		case QAM64:
+			t.bitsI, t.bitsQ = 3, 3
+		}
+		for k := 0; k < 1<<t.bitsI; k++ {
+			t.axisI = append(t.axisI, t.kmod*grayAxis(k, t.bitsI))
+		}
+		if t.bitsQ == 0 {
+			t.axisQ = []float64{0}
+		} else {
+			for q := 0; q < 1<<t.bitsQ; q++ {
+				t.axisQ = append(t.axisQ, t.kmod*grayAxis(q, t.bitsQ))
+			}
+		}
+		// The factorization must reproduce the point table exactly: the
+		// separable demapper's correctness proof starts from this identity.
+		for label, p := range t.points {
+			//lint:ignore floateq the factorization identity must hold bit-exactly, not approximately
+			if p != complex(t.axisI[label&(1<<t.bitsI-1)], t.axisQ[label>>t.bitsI]) {
+				panic(fmt.Sprintf("phy: %v label %d does not factor over the axis tables", m, label))
+			}
 		}
 		tables[m] = t
 	}
@@ -189,9 +225,35 @@ func DemapSoft(symbols []complex128, m Modulation, csi []float64) ([]float64, er
 }
 
 // DemapSoftAppend is DemapSoft appending the metrics to dst and returning
-// it, reusing dst's capacity. The point distances are computed once per
-// symbol and shared across its bit positions (the per-bit minima scan the
-// same values in the same order, so the metrics are unchanged).
+// it, reusing dst's capacity.
+//
+// The max-log metrics are computed separably: per symbol only the 2^bitsI +
+// 2^bitsQ per-axis squared distances are formed, and each bit's nearest-point
+// distances are reconstructed as axis-minimum sums. This is bit-identical to
+// scanning all 2^nbpsc joint distances d[p] = aI[p] + aQ[p] (the frozen
+// reference the differential test pins):
+//
+//   - each joint distance is the rounded sum of the exact per-axis squares,
+//     so precomputing the axes reuses the identical operands;
+//   - IEEE addition is monotone in each argument, so min_p(aI[p]+aQ[p]) over
+//     any set that constrains one axis and leaves the other free equals
+//     fl(min aI + min aQ) — bounded below by it via monotonicity and attained
+//     at the axis minimizers;
+//   - the minima scans keep the reference's +Inf seeds and strict-< compares,
+//     so NaN axes (NaN symbols) leave +Inf exactly as the joint scan does.
+//
+// Per bit of the I group, d0/d1 then read fl(aMin0/1 + bMin) with bMin the
+// unconstrained Q minimum (and symmetrically for the Q group), and the output
+// keeps the reference's w*(d1-d0) arithmetic verbatim.
+//
+// The minima use the builtin min rather than the reference's strict-< scan;
+// on this value class that is an identity. Squared axis distances are never
+// -0 (a square rounds to +0), and per axis they are either all NaN (a NaN
+// symbol component) or NaN-free (an ±Inf component squares to +Inf), so the
+// only divergence from the scan is an all-NaN axis: the scan leaves +Inf,
+// min propagates NaN, and either way every affected metric is NaN — with
+// w*(Inf-Inf) producing the reference's NaNs — differing at most in NaN
+// payload bits, which the exactness contract exempts.
 func DemapSoftAppend(dst []float64, symbols []complex128, m Modulation, csi []float64) ([]float64, error) {
 	t, ok := tables[m]
 	if !ok {
@@ -200,29 +262,54 @@ func DemapSoftAppend(dst []float64, symbols []complex128, m Modulation, csi []fl
 	if csi != nil && len(csi) != len(symbols) {
 		return nil, fmt.Errorf("phy: csi length %d != symbols %d", len(csi), len(symbols))
 	}
-	var dist [64]float64 // largest clause-17 constellation
-	d := dist[:len(t.points)]
+	var ab [16]float64 // both axes of the largest clause-17 constellation
+	nI, nQ := len(t.axisI), len(t.axisQ)
+	a, b := ab[:nI:nI], ab[8:8+nQ]
 	for si, y := range symbols {
 		w := 1.0
 		if csi != nil {
 			w = csi[si]
 		}
-		for i, p := range t.points {
-			d[i] = sqDist(y, p)
+		yr, yi := real(y), imag(y)
+		for k, x := range t.axisI {
+			dr := yr - x
+			a[k] = dr * dr
 		}
-		for j := 0; j < t.nbpsc; j++ {
+		for q, x := range t.axisQ {
+			di := yi - x
+			b[q] = di * di
+		}
+		aMin, bMin := math.Inf(1), math.Inf(1)
+		for _, v := range a {
+			aMin = min(aMin, v)
+		}
+		for _, v := range b {
+			bMin = min(bMin, v)
+		}
+		for j := 0; j < t.bitsI; j++ {
 			d0, d1 := math.Inf(1), math.Inf(1)
-			for i, label := range t.labels {
-				if (label>>j)&1 == 0 {
-					if d[i] < d0 {
-						d0 = d[i]
-					}
-				} else if d[i] < d1 {
-					d1 = d[i]
+			for k, v := range a {
+				if (k>>j)&1 == 0 {
+					d0 = min(d0, v)
+				} else {
+					d1 = min(d1, v)
 				}
 			}
+			d0, d1 = d0+bMin, d1+bMin
 			// LLR ~ (d1 - d0): positive when the nearest bit-0 point is
 			// closer than the nearest bit-1 point.
+			dst = append(dst, w*(d1-d0))
+		}
+		for j := 0; j < t.bitsQ; j++ {
+			d0, d1 := math.Inf(1), math.Inf(1)
+			for q, v := range b {
+				if (q>>j)&1 == 0 {
+					d0 = min(d0, v)
+				} else {
+					d1 = min(d1, v)
+				}
+			}
+			d0, d1 = aMin+d0, aMin+d1
 			dst = append(dst, w*(d1-d0))
 		}
 	}

@@ -1,0 +1,161 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// demapSoftAppendRef is the frozen pre-separable soft demapper: the full
+// joint-distance scan over every constellation point, kept verbatim as the
+// differential oracle for DemapSoftAppend's axis factorization.
+func demapSoftAppendRef(dst []float64, symbols []complex128, m Modulation, csi []float64) ([]float64, error) {
+	t, ok := tables[m]
+	if !ok {
+		return nil, fmt.Errorf("phy: unknown modulation %d", m)
+	}
+	if csi != nil && len(csi) != len(symbols) {
+		return nil, fmt.Errorf("phy: csi length %d != symbols %d", len(csi), len(symbols))
+	}
+	var dist [64]float64 // largest clause-17 constellation
+	d := dist[:len(t.points)]
+	for si, y := range symbols {
+		w := 1.0
+		if csi != nil {
+			w = csi[si]
+		}
+		for i, p := range t.points {
+			d[i] = sqDist(y, p)
+		}
+		for j := 0; j < t.nbpsc; j++ {
+			d0, d1 := math.Inf(1), math.Inf(1)
+			for i, label := range t.labels {
+				if (label>>j)&1 == 0 {
+					if d[i] < d0 {
+						d0 = d[i]
+					}
+				} else if d[i] < d1 {
+					d1 = d[i]
+				}
+			}
+			dst = append(dst, w*(d1-d0))
+		}
+	}
+	return dst, nil
+}
+
+// demapAdversarialSymbols returns symbol sets that exercise the demapper's
+// special-value and tie behavior on top of ordinary noisy points.
+func demapAdversarialSymbols(rng *rand.Rand, m Modulation) [][]complex128 {
+	t := tables[m]
+	inf, nan := math.Inf(1), math.NaN()
+	sets := [][]complex128{
+		t.points, // exact constellation points: joint-distance ties everywhere
+		{0, complex(1e-300, -1e-300), complex(-0.0, 0.0)},
+		{complex(inf, 0), complex(-inf, 2), complex(0.5, inf), complex(-inf, -inf)},
+		{complex(nan, 0), complex(0.25, nan), complex(nan, nan), complex(nan, inf)},
+		{complex(1e154, -1e154), complex(-1e154, 1e154)}, // squares overflow to +Inf
+	}
+	noisy := make([]complex128, 64)
+	for i := range noisy {
+		p := t.points[rng.Intn(len(t.points))]
+		noisy[i] = p + complex(rng.NormFloat64(), rng.NormFloat64())*complex(0.2, 0)
+	}
+	sets = append(sets, noisy)
+	// Midpoints between adjacent points: exact equidistance, resolved by the
+	// scans' strict-< ordering.
+	mids := make([]complex128, 0, 16)
+	for i := 0; i+1 < len(t.points) && len(mids) < 16; i++ {
+		mids = append(mids, (t.points[i]+t.points[i+1])*complex(0.5, 0))
+	}
+	sets = append(sets, mids)
+	return sets
+}
+
+// TestDemapSoftSeparableMatchesRef pins the separable demapper bit-for-bit
+// against the frozen joint-scan reference across all four modulations, with
+// and without CSI weighting, on random, tie-heavy, and NaN/Inf symbol sets.
+func TestDemapSoftSeparableMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		for seti, syms := range demapAdversarialSymbols(rng, m) {
+			for _, withCSI := range []bool{false, true} {
+				var csi []float64
+				if withCSI {
+					csi = make([]float64, len(syms))
+					for i := range csi {
+						csi[i] = rng.Float64() * 2
+					}
+					if len(csi) > 1 {
+						csi[0], csi[1] = 0, math.Inf(1)
+					}
+				}
+				got, err := DemapSoftAppend(nil, syms, m, csi)
+				if err != nil {
+					t.Fatalf("%v set %d: %v", m, seti, err)
+				}
+				want, err := demapSoftAppendRef(nil, syms, m, csi)
+				if err != nil {
+					t.Fatalf("%v set %d ref: %v", m, seti, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v set %d csi=%v: %d metrics, ref %d", m, seti, withCSI, len(got), len(want))
+				}
+				for i := range got {
+					g, w := math.Float64bits(got[i]), math.Float64bits(want[i])
+					if g != w && !(math.IsNaN(got[i]) && math.IsNaN(want[i])) {
+						t.Errorf("%v set %d csi=%v metric %d: %v (%#x) != ref %v (%#x) for symbol %v",
+							m, seti, withCSI, i, got[i], g, want[i], w, syms[i/m.BitsPerSymbol()])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDemapAxisFactorization re-states the init-time identity as a test: every
+// constellation point must factor exactly over the axis tables, and the axis
+// tables must cover each axis's Gray code.
+func TestDemapAxisFactorization(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64} {
+		tab := tables[m]
+		if tab.bitsI+tab.bitsQ != tab.nbpsc {
+			t.Fatalf("%v: bitsI %d + bitsQ %d != nbpsc %d", m, tab.bitsI, tab.bitsQ, tab.nbpsc)
+		}
+		if len(tab.axisI) != 1<<tab.bitsI {
+			t.Fatalf("%v: %d I levels, want %d", m, len(tab.axisI), 1<<tab.bitsI)
+		}
+		for label, p := range tab.points {
+			re := tab.axisI[label&(1<<tab.bitsI-1)]
+			im := tab.axisQ[label>>tab.bitsI]
+			if math.Float64bits(real(p)) != math.Float64bits(re) ||
+				math.Float64bits(imag(p)) != math.Float64bits(im) {
+				t.Errorf("%v label %d: point %v != axis factorization (%v, %v)", m, label, p, re, im)
+			}
+		}
+	}
+}
+
+func benchmarkDemapSoft(b *testing.B, m Modulation) {
+	rng := rand.New(rand.NewSource(3))
+	syms := make([]complex128, 48)
+	tab := tables[m]
+	for i := range syms {
+		p := tab.points[rng.Intn(len(tab.points))]
+		syms[i] = p + complex(rng.NormFloat64(), rng.NormFloat64())*complex(0.1, 0)
+	}
+	dst := make([]float64, 0, len(syms)*tab.nbpsc)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = DemapSoftAppend(dst[:0], syms, m, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDemapSoftQAM64(b *testing.B) { benchmarkDemapSoft(b, QAM64) }
+func BenchmarkDemapSoftQAM16(b *testing.B) { benchmarkDemapSoft(b, QAM16) }

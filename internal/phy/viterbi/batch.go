@@ -1,0 +1,136 @@
+package viterbi
+
+import (
+	"fmt"
+	"math"
+
+	"wlansim/internal/kernels"
+)
+
+// Batch decode: B equal-length soft streams advance through one lock-step
+// trellis loop (kernels.ACSRunBatch updates all B metric planes per step).
+// Lane b of the batch is bit-identical to DecodeSoftInto on soft[b] alone —
+// decisions, final metrics and traceback all — which the package's
+// differential tests pin across widths and adversarial inputs.
+
+// batchScratch carries the per-lane banks and decision words the batch
+// decoder ping-pongs, grown on demand and retained across calls so a
+// long-lived decoder reaches a zero-allocation steady state.
+type batchScratch struct {
+	banks     [][2][numStates]float64
+	metric    []*[numStates]float64
+	scratch   []*[numStates]float64
+	decisions [][]uint64
+	clean     []bool
+}
+
+func (s *batchScratch) grow(lanes, steps int) {
+	if len(s.banks) < lanes {
+		s.banks = make([][2][numStates]float64, lanes)
+		s.metric = make([]*[numStates]float64, lanes)
+		s.scratch = make([]*[numStates]float64, lanes)
+		s.clean = make([]bool, lanes)
+		old := s.decisions
+		s.decisions = make([][]uint64, lanes)
+		copy(s.decisions, old)
+	}
+	for b := 0; b < lanes; b++ {
+		s.metric[b] = &s.banks[b][0]
+		s.scratch[b] = &s.banks[b][1]
+		if cap(s.decisions[b]) < steps {
+			s.decisions[b] = make([]uint64, steps)
+		}
+	}
+}
+
+// DecodeSoftBatch decodes B soft-metric streams of identical length in
+// lock-step, writing lane b's bits into dst[b] (grown if short, reused
+// otherwise; dst itself may be nil). Each lane is bit-identical to
+// DecodeSoftInto(dst[b], soft[b]) on the same decoder configuration.
+//
+// Structural misuse (odd or unequal stream lengths) and, for a terminated
+// trellis, an unreachable zero state in any lane fail the whole call — a
+// caller that needs per-lane decode-failure semantics should fall back to
+// sequential decodes.
+//
+//lint:hotpath
+func (d *Decoder) DecodeSoftBatch(dst [][]byte, soft [][]float64) ([][]byte, error) {
+	lanes := len(soft)
+	if lanes == 0 {
+		return dst, nil
+	}
+	if len(soft[0])%2 != 0 {
+		//lint:ignore escape error path only: the formatted length argument boxes
+		return nil, fmt.Errorf("viterbi: soft stream length %d is odd", len(soft[0]))
+	}
+	steps := len(soft[0]) / 2
+	for b := 1; b < lanes; b++ {
+		if len(soft[b]) != 2*steps {
+			//lint:ignore escape error path only: the formatted arguments box
+			return nil, fmt.Errorf("viterbi: lane %d stream length %d != lane 0 length %d", b, len(soft[b]), 2*steps)
+		}
+	}
+	if cap(dst) < lanes {
+		//lint:ignore escape grows only when the caller's buffer is short
+		dst = make([][]byte, lanes)
+	}
+	dst = dst[:lanes]
+	if steps == 0 {
+		for b := range dst {
+			dst[b] = nil
+		}
+		return dst, nil
+	}
+
+	d.batch.grow(lanes, steps)
+	metric := d.batch.metric[:lanes]
+	scratch := d.batch.scratch[:lanes]
+	clean := d.batch.clean[:lanes]
+	decisions := d.batch.decisions[:lanes]
+	for b := 0; b < lanes; b++ {
+		for i := range metric[b] {
+			metric[b][i] = math.Inf(-1)
+		}
+		metric[b][0] = 0 // encoder starts in the zero state
+		decisions[b] = decisions[b][:steps]
+	}
+
+	kernels.ACSRunBatch(decisions, soft, metric, scratch, clean)
+
+	// Lane b's final bank follows ACSRunBatch's parity rule: metric for an
+	// even step count, scratch for odd — the same bank ACSRun would return.
+	finals := metric
+	if steps%2 == 1 {
+		finals = scratch
+	}
+	for b := 0; b < lanes; b++ {
+		final := 0
+		bank := finals[b]
+		if !d.Terminated {
+			best := math.Inf(-1)
+			for s, m := range bank {
+				if m > best {
+					best, final = m, s
+				}
+			}
+		} else if math.IsInf(bank[0], -1) {
+			//lint:ignore escape error path only: the formatted lane argument boxes
+			return nil, fmt.Errorf("viterbi: zero state unreachable in terminated trellis (lane %d)", b)
+		}
+
+		if cap(dst[b]) < steps {
+			//lint:ignore escape grows only when the caller's buffer is short
+			dst[b] = make([]byte, steps)
+		}
+		out := dst[b][:steps]
+		dec := decisions[b]
+		state := final
+		for t := steps - 1; t >= 0; t-- {
+			out[t] = byte(state >> 5)
+			r := (dec[t] >> uint(state)) & 1
+			state = ((state << 1) | int(r)) & (numStates - 1)
+		}
+		dst[b] = out
+	}
+	return dst, nil
+}

@@ -1,0 +1,169 @@
+package viterbi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randSoft fills a soft stream with noisy antipodal metrics for a random
+// terminated codeword so the trellis is realistically decodable, optionally
+// salting in NaN/±Inf to force the kernel's reference fallback.
+func randSoft(rng *rand.Rand, steps int, adversarial bool) []float64 {
+	bits := make([]byte, steps)
+	for i := 0; i < steps-6; i++ {
+		bits[i] = byte(rng.Intn(2))
+	}
+	coded := encode(bits)
+	soft := make([]float64, 2*steps)
+	for i, c := range coded {
+		soft[i] = (1 - 2*float64(c)) + rng.NormFloat64()*0.4
+		if adversarial && rng.Intn(50) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				soft[i] = math.NaN()
+			case 1:
+				soft[i] = math.Inf(1)
+			case 2:
+				soft[i] = math.Inf(-1)
+			}
+		}
+	}
+	return soft
+}
+
+// TestDecodeSoftBatchMatchesSequential pins lane b of DecodeSoftBatch
+// byte-identical to DecodeSoftInto on the same stream, across batch widths,
+// terminated and unterminated trellises, and adversarial metrics.
+func TestDecodeSoftBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, B := range []int{1, 2, 3, 5, 8, 16} {
+		for _, terminated := range []bool{true, false} {
+			for trial := 0; trial < 12; trial++ {
+				steps := 12 + rng.Intn(120)
+				adversarial := trial%3 == 2
+
+				soft := make([][]float64, B)
+				for b := range soft {
+					soft[b] = randSoft(rng, steps, adversarial)
+				}
+
+				batchDec := &Decoder{Terminated: terminated}
+				seqDec := &Decoder{Terminated: terminated}
+
+				got, gotErr := batchDec.DecodeSoftBatch(nil, soft)
+				for b := 0; b < B; b++ {
+					want, wantErr := seqDec.DecodeSoftInto(nil, soft[b])
+					if wantErr != nil {
+						// The sequential decode failed this lane, so the
+						// batch call must have failed too.
+						if gotErr == nil {
+							t.Fatalf("B=%d lane %d: sequential error %v but batch succeeded", B, b, wantErr)
+						}
+						continue
+					}
+					if gotErr != nil {
+						// The batch call may fail as a whole because a later
+						// lane is undecodable; it must never fail when every
+						// lane decodes sequentially — checked below.
+						continue
+					}
+					if !bytes.Equal(got[b], want) {
+						t.Fatalf("B=%d terminated=%v trial %d lane %d: batch bits differ from sequential", B, terminated, trial, b)
+					}
+				}
+				if gotErr != nil {
+					// Legitimate only if some lane also fails sequentially.
+					anyFail := false
+					for b := 0; b < B; b++ {
+						if _, err := seqDec.DecodeSoftInto(nil, soft[b]); err != nil {
+							anyFail = true
+							break
+						}
+					}
+					if !anyFail {
+						t.Fatalf("B=%d terminated=%v trial %d: batch error %v but every lane decodes sequentially", B, terminated, trial, gotErr)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeSoftBatchRoundTrip encodes random messages on every lane and
+// requires the batch decoder to recover all of them exactly through clean
+// antipodal metrics.
+func TestDecodeSoftBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const B, n = 6, 96
+	d := New()
+	msgs := make([][]byte, B)
+	soft := make([][]float64, B)
+	for b := 0; b < B; b++ {
+		msgs[b] = make([]byte, n)
+		for i := 0; i < n-6; i++ {
+			msgs[b][i] = byte(rng.Intn(2))
+		}
+		coded := encode(msgs[b])
+		soft[b] = make([]float64, len(coded))
+		for i, c := range coded {
+			soft[b][i] = 1 - 2*float64(c)
+		}
+	}
+	got, err := d.DecodeSoftBatch(nil, soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < B; b++ {
+		if !bytes.Equal(got[b], msgs[b]) {
+			t.Fatalf("lane %d: round trip failed", b)
+		}
+	}
+}
+
+// TestDecodeSoftBatchValidation pins the structural error paths and the
+// degenerate shapes.
+func TestDecodeSoftBatchValidation(t *testing.T) {
+	d := New()
+	if _, err := d.DecodeSoftBatch(nil, [][]float64{{1, -1, 1}}); err == nil {
+		t.Fatal("odd stream length must error")
+	}
+	if _, err := d.DecodeSoftBatch(nil, [][]float64{{1, -1}, {1, -1, 1, -1}}); err == nil {
+		t.Fatal("unequal lane lengths must error")
+	}
+	out, err := d.DecodeSoftBatch(nil, nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: got %v, %v", out, err)
+	}
+	out, err = d.DecodeSoftBatch(nil, [][]float64{{}, {}})
+	if err != nil || len(out) != 2 || out[0] != nil || out[1] != nil {
+		t.Fatalf("zero-step batch: got %v, %v", out, err)
+	}
+}
+
+// TestDecodeSoftBatchScratchReuse pins the zero-allocation steady state: a
+// warmed decoder batch-decoding into reused lane buffers allocates nothing.
+func TestDecodeSoftBatchScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const B, steps = 4, 64
+	d := New()
+	soft := make([][]float64, B)
+	for b := range soft {
+		soft[b] = randSoft(rng, steps, false)
+	}
+	dst, err := d.DecodeSoftBatch(nil, soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		var derr error
+		dst, derr = d.DecodeSoftBatch(dst, soft)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state DecodeSoftBatch allocates %v times per run", allocs)
+	}
+}

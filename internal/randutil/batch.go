@@ -1,0 +1,25 @@
+package randutil
+
+import "math/rand"
+
+// The batched-draw path: a batch of B packets (or B equal-config sweep
+// points) whose RF blocks restart their fixed-seed noise streams per packet
+// would draw B identical sequences. Restarting the one generator once per
+// batch and materializing its draws into planes preserves the exact
+// per-packet draw order — lane b of the batch consumes the same values, in
+// the same order, as its own restarted generator would — while paying for
+// the stream once instead of B times. FillNormPairs is the materializer;
+// the property test pins plane k against the k-th per-packet draw bit for
+// bit.
+
+// FillNormPairs fills re[i], im[i] with successive NormFloat64 draws in
+// per-sample order — re[i] first, then im[i] — the draw order of a block
+// model that adds complex Gaussian noise sample by sample. re and im must
+// have equal length.
+func FillNormPairs(rng *rand.Rand, re, im []float64) {
+	im = im[:len(re)]
+	for i := range re {
+		re[i] = rng.NormFloat64()
+		im[i] = rng.NormFloat64()
+	}
+}

@@ -168,6 +168,16 @@ func (a *Amplifier) ProcessSample(x complex128) complex128 {
 	if a.noise != nil {
 		x += complex(a.noise.NormFloat64()*a.nsig, a.noise.NormFloat64()*a.nsig)
 	}
+	return a.amplify(x)
+}
+
+// amplify is the deterministic part of ProcessSample: the AM/AM nonlinearity
+// and AM/PM rotation with the input noise already added. Split out so the
+// batched front end can share one materialized noise plane across lanes and
+// still run the exact per-sample arithmetic.
+//
+//lint:hotpath
+func (a *Amplifier) amplify(x complex128) complex128 {
 	switch a.cfg.Model {
 	case Linear:
 		return x * complex(a.g, 0)

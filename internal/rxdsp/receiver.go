@@ -190,6 +190,11 @@ type PacketResult struct {
 	// EqualizedCarriers holds the 48 equalized data carriers of each DATA
 	// symbol (for EVM and constellation analysis).
 	EqualizedCarriers [][]complex128
+	// CSI holds the matching channel-state weights when the DATA decode was
+	// deferred (Receiver.DeferDataDecode) and CSI weighting is enabled; nil
+	// otherwise. It aliases receiver scratch and is only valid until the
+	// next Receive call.
+	CSI [][]float64
 	// LinkSNRdB estimates the receive SNR from the two long training
 	// symbols (a link-quality indicator).
 	LinkSNRdB float64
@@ -227,6 +232,12 @@ type Receiver struct {
 	// only valid until the next Receive call — opt in only when each packet
 	// is fully consumed before the next is received.
 	ReuseBuffers bool
+	// DeferDataDecode makes Receive stop after equalizing the DATA field:
+	// the result carries the equalized carriers, CSI weights and SIGNAL
+	// field but a nil PSDU, to be completed by DecodeDeferredBatch (which
+	// pushes many packets through one lock-step Viterbi pass). Ignored with
+	// HardDecisions (the batched decode path is soft-only).
+	DeferDataDecode bool
 
 	// Reusable scratch; see Reset.
 	notch    *dsp.IIR
@@ -397,9 +408,16 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 		csiArg = csis
 	}
 	var psdu []byte
-	if r.HardDecisions {
+	var deferredCSI [][]float64
+	switch {
+	case r.HardDecisions:
 		psdu, err = r.dec.DecodeDataCarriersHard(carriers, nil, sf.Mode, sf.Length)
-	} else {
+	case r.DeferDataDecode:
+		// The bit-level decode happens later, across packets, in
+		// DecodeDeferredBatch; hand it the CSI weights alongside the
+		// carriers.
+		deferredCSI = csiArg
+	default:
 		psdu, err = r.dec.DecodeDataCarriers(carriers, csiArg, sf.Mode, sf.Length)
 	}
 	if err != nil {
@@ -416,6 +434,7 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 		CFO:               d.CoarseCFO + fine,
 		T1Index:           d.StartIndex + t1,
 		EqualizedCarriers: carriers,
+		CSI:               deferredCSI,
 		LinkSNRdB:         linkSNR,
 		EndIndex:          d.StartIndex + dataStart + nSym*phy.SymbolLen,
 	}

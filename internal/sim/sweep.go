@@ -31,6 +31,17 @@ type Sweep struct {
 	// measurement point (metric plus confidence interval and sample
 	// counts). The point's X is overwritten with the swept value.
 	RunPoint func(value float64) (measure.Point, error)
+	// RunPointBatch, if set together with BatchSize > 1, evaluates a group of
+	// consecutive swept values in one call (the batched lock-step pipeline)
+	// and returns one point per value, in order. Full groups of BatchSize are
+	// dispatched batched; the ragged tail (fewer than BatchSize values) and
+	// BatchSize <= 1 fall back to RunPoint/Run point by point. The resulting
+	// series must not depend on the dispatch: a batch implementation is
+	// required to be bit-identical to its scalar counterpart, and each group
+	// is one work unit, so worker-count independence is preserved unchanged.
+	RunPointBatch func(values []float64) ([]measure.Point, error)
+	// BatchSize is the group width for RunPointBatch.
+	BatchSize int
 	// OnPoint, if set, is called after each point (progress reporting).
 	// Under parallel execution it is still invoked in Values order, for
 	// each completed prefix of the sweep.
@@ -44,34 +55,39 @@ type Sweep struct {
 // sweepScratch holds the parallel executor's per-Execute buffers so repeated
 // sweeps (parameter studies run point grids back to back) do not re-allocate
 // them. The done channel is reusable because the collector drains exactly one
-// completion per point before Execute returns it to the pool.
+// completion per work unit before Execute returns it to the pool.
 type sweepScratch struct {
-	pts       []measure.Point
-	errs      []error
-	completed []bool
+	pts       []measure.Point // flat, indexed by Values position
+	errs      []error         // per work unit
+	completed []bool          // per work unit
 	done      chan int
 }
 
 var sweepScratchPool = sync.Pool{New: func() any { return new(sweepScratch) }}
 
-// acquireSweepScratch returns pooled buffers sized (and zeroed) for n points.
-func acquireSweepScratch(n int) *sweepScratch {
+// acquireSweepScratch returns pooled buffers sized (and zeroed) for units
+// work units (single points or batch groups) over points swept values.
+func acquireSweepScratch(units, points int) *sweepScratch {
 	sc := sweepScratchPool.Get().(*sweepScratch)
-	if cap(sc.pts) < n {
-		sc.pts = make([]measure.Point, n)
-		sc.errs = make([]error, n)
-		sc.completed = make([]bool, n)
+	if cap(sc.pts) < points {
+		sc.pts = make([]measure.Point, points)
 	}
-	sc.pts = sc.pts[:n]
-	sc.errs = sc.errs[:n]
-	sc.completed = sc.completed[:n]
+	if cap(sc.errs) < units {
+		sc.errs = make([]error, units)
+		sc.completed = make([]bool, units)
+	}
+	sc.pts = sc.pts[:points]
+	sc.errs = sc.errs[:units]
+	sc.completed = sc.completed[:units]
 	for i := range sc.pts {
 		sc.pts[i] = measure.Point{}
+	}
+	for i := range sc.errs {
 		sc.errs[i] = nil
 		sc.completed[i] = false
 	}
-	if cap(sc.done) < n {
-		sc.done = make(chan int, n)
+	if cap(sc.done) < units {
+		sc.done = make(chan int, units)
 	}
 	return sc
 }
@@ -83,6 +99,65 @@ func (sc *sweepScratch) release() {
 		sc.errs[i] = nil
 	}
 	sweepScratchPool.Put(sc)
+}
+
+// sweepChunk is one schedulable work unit: the half-open Values index range
+// [start, end), dispatched batched (RunPointBatch) or point by point.
+type sweepChunk struct {
+	start, end int
+	batched    bool
+}
+
+// chunks partitions Values into work units. Without a usable batch
+// configuration every value is its own unit (the historical behavior). With
+// one, consecutive full groups of BatchSize go to RunPointBatch and the
+// ragged tail degrades to per-point units — never a short batch.
+func (s *Sweep) chunks() []sweepChunk {
+	n := len(s.Values)
+	if s.RunPointBatch == nil || s.BatchSize <= 1 {
+		out := make([]sweepChunk, n)
+		for i := range out {
+			out[i] = sweepChunk{start: i, end: i + 1}
+		}
+		return out
+	}
+	out := make([]sweepChunk, 0, n/s.BatchSize+s.BatchSize)
+	i := 0
+	for ; i+s.BatchSize <= n; i += s.BatchSize {
+		out = append(out, sweepChunk{start: i, end: i + s.BatchSize, batched: true})
+	}
+	for ; i < n; i++ {
+		out = append(out, sweepChunk{start: i, end: i + 1})
+	}
+	return out
+}
+
+// runChunkInto evaluates one work unit into dst (length c.end-c.start, in
+// Values order, X stamped on return).
+func (s *Sweep) runChunkInto(run func(value float64) (measure.Point, error), c sweepChunk, dst []measure.Point) error {
+	values := s.Values[c.start:c.end]
+	if c.batched {
+		pts, err := s.RunPointBatch(values)
+		if err != nil {
+			return fmt.Errorf("sim: sweep %q batch at %g: %w", s.Name, values[0], err)
+		}
+		if len(pts) != len(values) {
+			return fmt.Errorf("sim: sweep %q batch at %g returned %d points for %d values",
+				s.Name, values[0], len(pts), len(values))
+		}
+		copy(dst, pts)
+		for i := range dst {
+			dst[i].X = values[i]
+		}
+		return nil
+	}
+	p, err := run(values[0])
+	if err != nil {
+		return fmt.Errorf("sim: sweep %q at %g: %w", s.Name, values[0], err)
+	}
+	p.X = values[0]
+	dst[0] = p
+	return nil
 }
 
 // runner normalizes Run/RunPoint into the point-returning form.
@@ -108,40 +183,50 @@ func (s *Sweep) Execute() (*measure.Series, error) {
 	if len(s.Values) == 0 {
 		return nil, fmt.Errorf("sim: sweep %q has no values", s.Name)
 	}
+	chunks := s.chunks()
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(s.Values) {
-		workers = len(s.Values)
+	if workers > len(chunks) {
+		workers = len(chunks)
 	}
 	series := &measure.Series{
 		Label: s.Name, XLabel: s.XLabel, YLabel: s.YLabel,
 		Points: make([]measure.Point, 0, len(s.Values)),
 	}
-
-	if workers == 1 {
-		for _, v := range s.Values {
-			p, err := run(v)
-			if err != nil {
-				return nil, fmt.Errorf("sim: sweep %q at %g: %w", s.Name, v, err)
-			}
-			p.X = v
+	addPoints := func(pts []measure.Point) {
+		for _, p := range pts {
 			series.AddPoint(p)
 			if s.OnPoint != nil {
-				s.OnPoint(v, p.Y)
+				s.OnPoint(p.X, p.Y)
 			}
+		}
+	}
+
+	if workers == 1 {
+		width := 1
+		if s.RunPointBatch != nil && s.BatchSize > 1 {
+			width = s.BatchSize
+		}
+		buf := make([]measure.Point, width)
+		for _, c := range chunks {
+			dst := buf[:c.end-c.start]
+			if err := s.runChunkInto(run, c, dst); err != nil {
+				return nil, err
+			}
+			addPoints(dst)
 		}
 		return series, nil
 	}
 
-	// Worker pool over point indices. Each completed index is announced on
-	// done; the collector advances over the contiguous completed prefix so
-	// AddPoint/OnPoint observe exactly the serial order. Workers never
-	// abort early: every index sends exactly one completion, which keeps
-	// the collector loop bounded and the error (the lowest failing index)
-	// deterministic.
-	sc := acquireSweepScratch(len(s.Values))
+	// Worker pool over work units (single points or batch groups). Each
+	// completed unit is announced on done; the collector advances over the
+	// contiguous completed prefix so AddPoint/OnPoint observe exactly the
+	// serial order. Workers never abort early: every unit sends exactly one
+	// completion, which keeps the collector loop bounded and the error (the
+	// lowest failing unit) deterministic.
+	sc := acquireSweepScratch(len(chunks), len(s.Values))
 	defer sc.release()
 	pts, errs, done := sc.pts, sc.errs, sc.done
 	var next atomic.Int64
@@ -152,12 +237,11 @@ func (s *Sweep) Execute() (*measure.Series, error) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(s.Values) {
+				if i >= len(chunks) {
 					return
 				}
-				p, err := run(s.Values[i])
-				p.X = s.Values[i]
-				pts[i], errs[i] = p, err
+				c := chunks[i]
+				errs[i] = s.runChunkInto(run, c, pts[c.start:c.end])
 				done <- i
 			}
 		}()
@@ -166,17 +250,15 @@ func (s *Sweep) Execute() (*measure.Series, error) {
 	completed := sc.completed
 	var firstErr error
 	report := 0
-	for n := 0; n < len(s.Values); n++ {
+	for n := 0; n < len(chunks); n++ {
 		completed[<-done] = true
-		for report < len(s.Values) && completed[report] {
+		for report < len(chunks) && completed[report] {
 			if firstErr == nil {
 				if err := errs[report]; err != nil {
-					firstErr = fmt.Errorf("sim: sweep %q at %g: %w", s.Name, s.Values[report], err)
+					firstErr = err
 				} else {
-					series.AddPoint(pts[report])
-					if s.OnPoint != nil {
-						s.OnPoint(pts[report].X, pts[report].Y)
-					}
+					c := chunks[report]
+					addPoints(pts[c.start:c.end])
 				}
 			}
 			report++

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"wlansim/internal/measure"
+)
+
+// batchRecorder builds a sweep whose scalar and batch runners compute the
+// same deterministic function of the swept value, recording which dispatch
+// served each value.
+type batchRecorder struct {
+	mu      sync.Mutex
+	batched map[float64]bool
+	groups  [][]float64
+}
+
+func (r *batchRecorder) sweep(values []float64, batchSize, workers int) *Sweep {
+	r.batched = make(map[float64]bool)
+	point := func(v float64) measure.Point {
+		return measure.Point{Y: 3 * v, Bits: int(v) + 1}
+	}
+	return &Sweep{
+		Name:      "batched",
+		Values:    values,
+		Workers:   workers,
+		BatchSize: batchSize,
+		RunPoint: func(v float64) (measure.Point, error) {
+			r.mu.Lock()
+			r.batched[v] = false
+			r.mu.Unlock()
+			return point(v), nil
+		},
+		RunPointBatch: func(vs []float64) ([]measure.Point, error) {
+			group := append([]float64(nil), vs...)
+			pts := make([]measure.Point, len(vs))
+			for i, v := range vs {
+				pts[i] = point(v)
+			}
+			r.mu.Lock()
+			r.groups = append(r.groups, group)
+			for _, v := range vs {
+				r.batched[v] = true
+			}
+			r.mu.Unlock()
+			return pts, nil
+		},
+	}
+}
+
+// TestSweepBatchDispatch pins the grouping contract: full consecutive groups
+// of BatchSize go to RunPointBatch, the ragged tail runs point by point, and
+// the series is identical to the scalar sweep in value order — for serial
+// and parallel execution alike.
+func TestSweepBatchDispatch(t *testing.T) {
+	values := Linspace(1, 10, 10)
+	for _, workers := range []int{1, 4} {
+		rec := &batchRecorder{}
+		s := rec.sweep(values, 4, workers)
+		series, err := s.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(series.Points) != len(values) {
+			t.Fatalf("workers=%d: %d points for %d values", workers, len(series.Points), len(values))
+		}
+		for i, p := range series.Points {
+			want := measure.Point{X: values[i], Y: 3 * values[i], Bits: int(values[i]) + 1}
+			if p != want {
+				t.Errorf("workers=%d point %d: got %+v, want %+v", workers, i, p, want)
+			}
+			wantBatched := i < 8 // two full groups of 4; values 9, 10 are the tail
+			if rec.batched[values[i]] != wantBatched {
+				t.Errorf("workers=%d value %g: batched=%v, want %v", workers, values[i], rec.batched[values[i]], wantBatched)
+			}
+		}
+		for _, g := range rec.groups {
+			if len(g) != 4 {
+				t.Errorf("workers=%d: batch group of %d values dispatched, want exactly 4", workers, len(g))
+			}
+		}
+	}
+}
+
+// TestSweepBatchSizeOne pins the fallback: BatchSize <= 1 never touches the
+// batch runner even when one is set.
+func TestSweepBatchSizeOne(t *testing.T) {
+	rec := &batchRecorder{}
+	s := rec.sweep(Linspace(0, 5, 6), 1, 1)
+	if _, err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.groups) != 0 {
+		t.Fatalf("BatchSize=1 dispatched %d batch groups", len(rec.groups))
+	}
+}
+
+// TestSweepBatchCountMismatch pins that a batch runner returning the wrong
+// number of points is an executor error, not a silent truncation.
+func TestSweepBatchCountMismatch(t *testing.T) {
+	s := &Sweep{
+		Name:      "short",
+		Values:    Linspace(0, 3, 4),
+		BatchSize: 2,
+		Workers:   1,
+		RunPoint: func(v float64) (measure.Point, error) {
+			return measure.Point{Y: v}, nil
+		},
+		RunPointBatch: func(vs []float64) ([]measure.Point, error) {
+			return make([]measure.Point, len(vs)-1), nil
+		},
+	}
+	if _, err := s.Execute(); err == nil {
+		t.Fatal("short batch result did not error")
+	}
+}
+
+// TestSweepBatchErrorPropagates pins deterministic error reporting through
+// the batched path: the lowest failing work unit wins under any worker count.
+func TestSweepBatchErrorPropagates(t *testing.T) {
+	fail := errors.New("batch point failed")
+	for _, workers := range []int{1, 3} {
+		s := &Sweep{
+			Name:      "failing",
+			Values:    Linspace(0, 7, 8),
+			BatchSize: 3,
+			Workers:   workers,
+			RunPoint: func(v float64) (measure.Point, error) {
+				return measure.Point{Y: v}, nil
+			},
+			RunPointBatch: func(vs []float64) ([]measure.Point, error) {
+				if vs[0] == 3 { // the second group [3,4,5]
+					return nil, fail
+				}
+				return make([]measure.Point, len(vs)), nil
+			},
+		}
+		_, err := s.Execute()
+		if !errors.Is(err, fail) {
+			t.Fatalf("workers=%d: got %v, want wrapped %v", workers, err, fail)
+		}
+	}
+}

@@ -19,7 +19,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_5.json}"
+out="${1:-BENCH_7.json}"
 benchtime="${BENCH_COUNT:-50x}"
 runs="${BENCH_RUNS:-5}"
 if [ "$runs" -lt 5 ]; then
@@ -36,7 +36,7 @@ run_bench() {
     go test -run '^$' -bench "$pattern" -benchtime "$benchtime" -benchmem -count "$runs" "$pkg" >> "$raw"
 }
 
-run_bench ./internal/core         'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkSweepFilterBW|BenchmarkPacketIdeal24'
+run_bench ./internal/core         'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkSweepFilterBW|BenchmarkPacketIdeal24|BenchmarkSweepBatched'
 run_bench ./internal/phy/viterbi  'BenchmarkDecodeSoft'
 run_bench ./internal/dsp          'BenchmarkFIRProcess|BenchmarkComplexFIRProcess|BenchmarkFFT|BenchmarkDFT'
 run_bench ./internal/phy          'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol'
@@ -86,23 +86,19 @@ END {
     printf "  \"date\": \"%s\"\n}\n", out_date
 }
 BEGIN {
-    printf "{\n  \"issue\": 5,\n"
-    # Pre-PR baseline for the acceptance scenarios: medians of 5 runs at
-    # commit 939fbef (before the ILP kernels layer) in a git worktree,
-    # interleaved round-by-round with the post-change runs on the same
-    # machine so slow drift in machine load cancels out of the ratio.
+    printf "{\n  \"issue\": 7,\n"
+    # Pre-PR baseline for the acceptance scenario: the batched-sweep
+    # benchmark measured at commit 4d9acd7 (before the SoA batch layer) in a
+    # git worktree, interleaved round-by-round with the post-change runs on
+    # the same machine so slow drift in machine load cancels out of the
+    # ratio. BenchmarkSweepBatched does not exist at 4d9acd7, so the
+    # baseline worktree ran an injected twin benchmark with the identical
+    # sweep configuration (8 noise points, 24 Mbit/s, 2 packets of 100
+    # bytes, Workers=1) calling the sequential runBERPoint per point.
     printf "  \"baseline\": {\n"
-    printf "    \"commit\": \"939fbef\",\n"
-    printf "    \"protocol\": \"median of 5 interleaved worktree rounds\",\n"
-    printf "    \"BenchmarkSweepFilterBW\":      {\"ns_per_op\": 15208898},\n"
-    printf "    \"BenchmarkSweepExecutor\":      {\"ns_per_op\": 2195614},\n"
-    printf "    \"BenchmarkPacketBehavioral6\":  {\"ns_per_op\": 1383852},\n"
-    printf "    \"BenchmarkPacketBehavioral24\": {\"ns_per_op\": 1000153},\n"
-    printf "    \"BenchmarkPacketBehavioral54\": {\"ns_per_op\": 924348},\n"
-    printf "    \"BenchmarkPacketIdeal24\":      {\"ns_per_op\": 692320},\n"
-    printf "    \"BenchmarkDecodeSoft/bits=8112\": {\"ns_per_op\": 1191295},\n"
-    printf "    \"BenchmarkDFT/n=1024\":         {\"ns_per_op\": 19128},\n"
-    printf "    \"BenchmarkDFT/n=257\":          {\"ns_per_op\": 255099}\n"
+    printf "    \"commit\": \"4d9acd7\",\n"
+    printf "    \"protocol\": \"median of 7 interleaved worktree rounds, median of 3 samples per round\",\n"
+    printf "    \"BenchmarkSweepBatched\": {\"ns_per_op\": 12461030}\n"
     printf "  },\n"
     printf "  \"benchmarks\": [\n"
 }

@@ -59,6 +59,26 @@ echo "==> coverage floors"
 check_coverage ./internal/sim 90
 check_coverage ./internal/core 75
 check_coverage ./internal/lint 80
+check_coverage ./internal/kernels 85
+
+# Batch≡sequential equivalence suite. Every batched kernel and every layer
+# above it (RF front end, Viterbi, DATA-field decode, full bench) carries a
+# differential test pinning batch lane l bit-identical to the sequential
+# path. The `go test -list` guard makes a silent skip impossible: if a
+# build-tag or rename ever removes the tests from the compiled set, the gate
+# fails loudly instead of passing on an empty run.
+echo "==> batch-equivalence differential suite"
+batch_pat='Batch.*(Matches|Invariant)|Matches.*Batch|DeferredBatch|DemapSoftSeparable|SweepBatch|FillNormPairsMatches'
+for pkg in ./internal/kernels ./internal/dsp ./internal/randutil ./internal/rf \
+           ./internal/phy ./internal/phy/viterbi ./internal/rxdsp ./internal/sim ./internal/core; do
+    n="$(go test -run '^$' -list "$batch_pat" "$pkg" | grep -c '^Test' || true)"
+    if [ "$n" -eq 0 ]; then
+        echo "FAIL: $pkg lists no batch-equivalence tests matching '$batch_pat' (silent skip)" >&2
+        exit 1
+    fi
+    echo "    $pkg: $n batch-equivalence tests"
+    go test -run "$batch_pat" -count=1 "$pkg" > /dev/null
+done
 
 # Hot-path guarantees. The allocation gates pin the zero-steady-state-alloc
 # contract of the packet kernels (they also run under -race above, but the
@@ -71,7 +91,7 @@ go test -run 'AllocFree|TestFIRProcessSteadyStateAllocs|TestRestartAllocs' -coun
 go test -run 'TestSweepExecutorBuffersPooled' -count=1 ./internal/sim
 
 echo "==> benchmark smoke (1 iteration per scenario)"
-go test -run '^$' -bench 'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkSweepFilterBW|BenchmarkPacketIdeal24' -benchtime 1x ./internal/core > /dev/null
+go test -run '^$' -bench 'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkSweepFilterBW|BenchmarkPacketIdeal24|BenchmarkSweepBatched' -benchtime 1x ./internal/core > /dev/null
 go test -run '^$' -bench 'BenchmarkDecodeSoft' -benchtime 1x ./internal/phy/viterbi > /dev/null
 go test -run '^$' -bench 'BenchmarkFIRProcess|BenchmarkComplexFIRProcess|BenchmarkFFT|BenchmarkDFT' -benchtime 1x ./internal/dsp > /dev/null
 go test -run '^$' -bench 'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol' -benchtime 1x ./internal/phy > /dev/null
@@ -81,7 +101,7 @@ go test -run '^$' -bench 'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol' -be
 # compares distributions; the median over 5+ samples is the shell-portable
 # analogue — unlike best-of-N it is robust to noise in both directions, and
 # unlike the mean one co-tenant spike cannot drag it) against the medians
-# recorded in BENCH_5.json, failing on a regression beyond the slack. A
+# recorded in BENCH_7.json, failing on a regression beyond the slack. A
 # first failure triggers one escalation round with longer runs that decides
 # from its own samples alone — merging would keep round-one samples that a
 # transient co-tenant load spike already poisoned. The first
@@ -90,7 +110,7 @@ go test -run '^$' -bench 'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol' -be
 # near-constant ~10% above the recorded medians, which would eat the whole
 # slack budget. Tune with CHECK_BENCH_TIME and CHECK_BENCH_SLACK_PCT (see
 # the knobs above); CHECK_SKIP_BENCH=1 skips the gate entirely.
-bench_ref="BENCH_5.json"
+bench_ref="BENCH_7.json"
 echo "==> benchmark regression gate (vs $bench_ref, >${CHECK_BENCH_SLACK_PCT:-10}% fails)"
 if [ "${CHECK_SKIP_BENCH:-0}" = "1" ]; then
     echo "    CHECK_SKIP_BENCH=1; skipping"
@@ -98,7 +118,7 @@ elif [ -f "$bench_ref" ]; then
     bench_raw="$(mktemp)"
     bench_round() {
         : > "$bench_raw"
-        go test -run '^$' -bench 'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkSweepFilterBW|BenchmarkPacketIdeal24' \
+        go test -run '^$' -bench 'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkSweepFilterBW|BenchmarkPacketIdeal24|BenchmarkSweepBatched' \
             -benchtime "$1" -count 5 ./internal/core >> "$bench_raw"
         awk -v slack="${CHECK_BENCH_SLACK_PCT:-10}" -v ref="$bench_ref" '
         function median(key,    n, i, j, tmp, a) {

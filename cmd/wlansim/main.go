@@ -35,6 +35,7 @@ import (
 	"runtime/pprof"
 
 	"wlansim/internal/core"
+	"wlansim/internal/kernels"
 	"wlansim/internal/measure"
 	"wlansim/internal/rf"
 	"wlansim/internal/sim"
@@ -140,6 +141,8 @@ func runCommand(cmd string, args []string) error {
 		err = cmdRegrowth(args)
 	case "report":
 		err = cmdReport(args)
+	case "version":
+		cmdVersion()
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -152,7 +155,15 @@ func runCommand(cmd string, args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: wlansim [-cpuprofile file] [-memprofile file] <command> [flags]
-commands: table1 spectrum ber fig5 fig6 ip3 evm table2 artifact cascade\n          waterfall sensitivity inputrange rfcheck mask graph evmbudget jk acr\n          capture decode regrowth report`)
+commands: table1 spectrum ber fig5 fig6 ip3 evm table2 artifact cascade\n          waterfall sensitivity inputrange rfcheck mask graph evmbudget jk acr\n          capture decode regrowth report version`)
+}
+
+// cmdVersion prints the toolchain, platform and kernel-dispatch identity, so
+// benchmark records and bug reports carry which kernel tier produced them.
+func cmdVersion() {
+	fmt.Printf("wlansim (%s %s/%s)\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	fmt.Printf("kernels: dispatch %s, simd available %v, lane width %d (override: WLANSIM_SIMD=off)\n",
+		kernels.DispatchName(), kernels.SIMDAvailable(), kernels.SIMDWidth())
 }
 
 func cmdSpectrum(args []string) error {
@@ -195,11 +206,13 @@ func benchFlags(fs *flag.FlagSet) (*core.Config, *bool) {
 }
 
 // printCacheStats reports the stage-cache effectiveness of each sweep series
-// that ran with a cache attached (nothing is printed for uncached runs).
+// that ran with a cache attached (nothing is printed for uncached runs),
+// tagged with the kernel tier that produced the sweep so recorded stats are
+// attributable to a dispatch configuration.
 func printCacheStats(series ...*measure.Series) {
 	for _, s := range series {
 		if s.Cache.Enabled {
-			fmt.Printf("%s [%s]\n", s.Cache, s.Label)
+			fmt.Printf("%s [%s, kernels %s]\n", s.Cache, s.Label, kernels.DispatchName())
 		}
 	}
 }
@@ -237,7 +250,8 @@ func cmdBER(args []string) error {
 		return err
 	}
 	lo, hi := res.Counter.ConfidenceInterval95()
-	fmt.Printf("front end %s, oversample %dx\n", res.FrontEnd, res.OversampleFactor)
+	fmt.Printf("front end %s, oversample %dx, kernels %s\n",
+		res.FrontEnd, res.OversampleFactor, kernels.DispatchName())
 	fmt.Printf("%s\n95%% CI [%.3g, %.3g]\n", res.Counter.String(), lo, hi)
 	fmt.Printf("%s\n", res.EVM)
 	return nil

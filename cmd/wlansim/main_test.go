@@ -9,6 +9,10 @@ import (
 // The command handlers are exercised directly (no subprocess); each must
 // run its fast path without error.
 
+func TestCmdVersion(t *testing.T) {
+	cmdVersion() // must not panic; output is the dispatch identity banner
+}
+
 func TestCmdCascade(t *testing.T) {
 	if err := cmdCascade(nil); err != nil {
 		t.Fatal(err)

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"testing"
+
+	"wlansim/internal/kernels"
 )
 
 // Golden end-to-end BER regression points. Each row runs the full fixed-seed
@@ -79,6 +81,58 @@ func TestGoldenBERWaterfallPoints(t *testing.T) {
 // agree error-for-error, and the result must not depend on the worker count
 // of an enclosing sweep — here emulated by replaying one scenario between
 // other runs.
+// TestGoldenBERDispatchInvariant pins the assembly tier's acceptance
+// criterion end to end: the golden fixed-seed scenarios at 6/24/54 Mbit/s
+// must produce byte-identical error counts, packet accounting and EVM with
+// the SIMD kernel tier on and off. The ideal front end exercises the Viterbi
+// ACS and receiver DSP kernels; the behavioral front end adds the RF chain
+// (mixers, FIR resamplers, biquads). Any lane that rounded differently under
+// the assembly tier would shift at least one mid-slope error count here.
+func TestGoldenBERDispatchInvariant(t *testing.T) {
+	if !kernels.SIMDAvailable() {
+		t.Skip("no assembly tier on this machine: both dispatch settings run pure Go")
+	}
+	prev := kernels.DispatchName() != "purego"
+	defer kernels.SetDispatch(prev)
+
+	run := func(rate int, snr float64, fe FrontEndKind) *Result {
+		t.Helper()
+		cfg := goldenConfig(rate, snr)
+		cfg.FrontEnd = fe
+		bench, err := NewBench(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := bench.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	rows := []struct {
+		rate int
+		snr  float64
+	}{{6, 3}, {24, 9}, {54, 17}}
+	for _, fe := range []FrontEndKind{FrontEndIdeal, FrontEndBehavioral} {
+		for _, row := range rows {
+			kernels.SetDispatch(true)
+			on := run(row.rate, row.snr, fe)
+			kernels.SetDispatch(false)
+			off := run(row.rate, row.snr, fe)
+			if on.Counter != off.Counter {
+				t.Errorf("front end %d, %d Mbps at %g dB: counter %+v with SIMD != %+v pure Go",
+					fe, row.rate, row.snr, on.Counter, off.Counter)
+			}
+			if math.Float64bits(on.EVM.RMS) != math.Float64bits(off.EVM.RMS) ||
+				on.EVM.Symbols != off.EVM.Symbols {
+				t.Errorf("front end %d, %d Mbps at %g dB: EVM %+v with SIMD != %+v pure Go",
+					fe, row.rate, row.snr, on.EVM, off.EVM)
+			}
+		}
+	}
+}
+
 func TestGoldenBERExactReplay(t *testing.T) {
 	run := func() int {
 		cfg := goldenConfig(54, 17)

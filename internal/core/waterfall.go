@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"wlansim/internal/kernels"
 	"wlansim/internal/measure"
 	"wlansim/internal/phy"
 	"wlansim/internal/seed"
@@ -68,7 +69,7 @@ func WaterfallBERvsSNROnFrontEnd(base Config, fe FrontEndKind, ratesMbps []int, 
 			},
 		}
 		if fe == FrontEndBehavioral && base.Batch > 1 {
-			sweep.BatchSize = base.Batch
+			sweep.BatchSize = batchLaneWidth(base.Batch)
 			sweep.RunPointBatch = func(snrs []float64) ([]measure.Point, error) {
 				cfgs := make([]Config, len(snrs))
 				for i, snr := range snrs {
@@ -87,6 +88,21 @@ func WaterfallBERvsSNROnFrontEnd(base Config, fe FrontEndKind, ratesMbps []int, 
 		fig.Series = append(fig.Series, series)
 	}
 	return fig, nil
+}
+
+// batchLaneWidth rounds a configured batch width up to the next multiple of
+// the kernel tier's SIMD lane width, so every vector instruction in the
+// batched pipeline runs with full lanes (the sweep executor pads ragged value
+// tails with dummy lanes, so a widened batch never falls back to the scalar
+// path). With the pure-Go tier active the width is 1 and the configured value
+// passes through unchanged. The series itself is width-independent — pinned
+// by TestGoldenBERBatchingInvariant — so this only affects wall-clock.
+func batchLaneWidth(b int) int {
+	w := kernels.SIMDWidth()
+	if w <= 1 {
+		return b
+	}
+	return (b + w - 1) / w * w
 }
 
 // SensitivitySearch bisects the wanted power until the packet error rate

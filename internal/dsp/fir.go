@@ -110,7 +110,6 @@ func (f *FIR) Process(x []complex128) []complex128 {
 		// Planar direct path: one transpose per frame, then the unrolled
 		// split-complex kernel. Per output the kernel accumulates newest to
 		// oldest (taps[0] first) like the per-sample form, bit-identically.
-		//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
 		f.extV.From(ext)
 		//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
 		f.outV.Grow(len(x))

@@ -62,7 +62,7 @@ func ACSRun(decisions []uint64, soft []float64, metric, scratch *[64]float64) *[
 	for t := range decisions {
 		mA, mB := soft[2*t], soft[2*t+1]
 		if clean && !math.IsNaN(mA) && !math.IsInf(mA, 0) && !math.IsNaN(mB) && !math.IsInf(mB, 0) {
-			decisions[t] = acsStepFast(next, cur, mA, mB)
+			decisions[t] = acsStep(next, cur, mA, mB)
 		} else {
 			clean = false
 			decisions[t] = ACSStepRef(next, cur, mA, mB)
@@ -70,6 +70,19 @@ func ACSRun(decisions []uint64, soft []float64, metric, scratch *[64]float64) *[
 		cur, next = next, cur
 	}
 	return cur
+}
+
+// acsStep dispatches one clean trellis step to the active tier. The AVX2
+// tier runs the same 32-butterfly schedule four butterflies per vector; each
+// butterfly is an unchanged scalar chain (see simd_amd64.s), so both tiers
+// are bit-identical to acsStepGo.
+//
+//lint:hotpath
+func acsStep(next, metric *[64]float64, mA, mB float64) uint64 {
+	if useSIMD {
+		return acsStepSIMD(next, metric, mA, mB)
+	}
+	return acsStepGo(next, metric, mA, mB)
 }
 
 // ACSStepRef is the retained naive reference for the unrolled ACS kernel: the

@@ -79,10 +79,10 @@ func TestACSRunMatchesRef(t *testing.T) {
 	}
 }
 
-// TestACSStepFastMatchesRef checks the unrolled step kernel directly against
+// TestACSStepGoMatchesRef checks the unrolled step kernel directly against
 // the reference on its contract domain: finite branch metrics, banks free of
 // NaN and +Inf (finite values and -Inf only).
-func TestACSStepFastMatchesRef(t *testing.T) {
+func TestACSStepGoMatchesRef(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	var metric, nextA, nextB [64]float64
 	for trial := 0; trial < 5000; trial++ {
@@ -98,7 +98,7 @@ func TestACSStepFastMatchesRef(t *testing.T) {
 		if trial%7 == 1 {
 			mA = 0
 		}
-		decA := acsStepFast(&nextA, &metric, mA, mB)
+		decA := acsStepGo(&nextA, &metric, mA, mB)
 		decB := ACSStepRef(&nextB, &metric, mA, mB)
 		if decA != decB {
 			t.Fatalf("trial %d: decision word %#x != ref %#x (mA=%g mB=%g)", trial, decA, decB, mA, mB)

@@ -53,7 +53,7 @@ func ACSRunBatch(decisions [][]uint64, soft [][]float64, metric, scratch []*[64]
 			}
 			mA, mB := soft[b][2*t], soft[b][2*t+1]
 			if clean[b] && !math.IsNaN(mA) && !math.IsInf(mA, 0) && !math.IsNaN(mB) && !math.IsInf(mB, 0) {
-				decisions[b][t] = acsStepFast(next, cur, mA, mB)
+				decisions[b][t] = acsStep(next, cur, mA, mB)
 			} else {
 				clean[b] = false
 				decisions[b][t] = ACSStepRef(next, cur, mA, mB)
@@ -115,6 +115,18 @@ func MixApplyBatch(xr, xi [][]float64, mur, mui, nur, nui, g, dcr, dci float64) 
 //
 //lint:hotpath
 func BiquadBatch(re, im [][]float64, b0, b1, b2, a1, a2 float64, s1r, s1i, s2r, s2i []float64) {
+	if useSIMD {
+		biquadBatchSIMD(re, im, b0, b1, b2, a1, a2, s1r, s1i, s2r, s2i)
+		return
+	}
+	biquadBatchGo(re, im, b0, b1, b2, a1, a2, s1r, s1i, s2r, s2i)
+}
+
+// biquadBatchGo is the pure-Go tier of BiquadBatch: lane pairs with the four
+// recurrences in registers, single-lane remainder.
+//
+//lint:hotpath
+func biquadBatchGo(re, im [][]float64, b0, b1, b2, a1, a2 float64, s1r, s1i, s2r, s2i []float64) {
 	b := 0
 	for ; b+2 <= len(re); b += 2 {
 		biquadPair(re[b], im[b], re[b+1], im[b+1], b0, b1, b2, a1, a2, s1r[b:], s1i[b:], s2r[b:], s2i[b:])
@@ -122,6 +134,17 @@ func BiquadBatch(re, im [][]float64, b0, b1, b2, a1, a2 float64, s1r, s1i, s2r, 
 	if b < len(re) {
 		biquadLane(re[b], im[b], b0, b1, b2, a1, a2, s1r[b:], s1i[b:], s2r[b:], s2i[b:])
 	}
+}
+
+// biquadQuadGo advances four lanes as two register-resident pairs. It is the
+// pure-Go twin of biquadQuadAsm, which runs the same four recurrences one
+// lane per ymm vector lane with the per-lane update order unchanged; both
+// advance lane b exactly as biquadLane would.
+//
+//lint:hotpath
+func biquadQuadGo(re, im [][]float64, b0, b1, b2, a1, a2 float64, s1r, s1i, s2r, s2i []float64) {
+	biquadPair(re[0], im[0], re[1], im[1], b0, b1, b2, a1, a2, s1r, s1i, s2r, s2i)
+	biquadPair(re[2], im[2], re[3], im[3], b0, b1, b2, a1, a2, s1r[2:], s1i[2:], s2r[2:], s2i[2:])
 }
 
 // biquadPair advances two lanes (four independent recurrences) with all four

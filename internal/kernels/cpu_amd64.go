@@ -1,0 +1,17 @@
+//go:build amd64 && !purego
+
+package kernels
+
+// The amd64 SIMD tier is AVX2: 4 float64 lanes per ymm vector, selected only
+// when the CPU and the OS both support it (see cpu_amd64.s).
+const (
+	simdTier  = "avx2"
+	simdWidth = 4
+)
+
+// cpuHasAVX2 probes, in assembly and without any third-party cpu package:
+// CPUID leaf 1 ECX for OSXSAVE+AVX, XGETBV XCR0 for OS-managed xmm/ymm
+// state, and CPUID leaf 7 EBX for AVX2. See cpu_amd64.s.
+func cpuHasAVX2() bool
+
+var simdAvailable = cpuHasAVX2()

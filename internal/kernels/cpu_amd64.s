@@ -1,0 +1,46 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuHasAVX2() bool
+//
+// AVX2 usability requires all of:
+//   - CPUID.0 max basic leaf >= 7 (leaf 7 exists at all);
+//   - CPUID.1:ECX bit 27 (OSXSAVE) and bit 28 (AVX);
+//   - XGETBV(0) XCR0 bits 1 and 2 (the OS saves xmm and ymm state);
+//   - CPUID.7.0:EBX bit 5 (AVX2).
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	// Max basic leaf.
+	XORL AX, AX
+	CPUID
+	CMPL AX, $7
+	JL   no
+
+	// OSXSAVE + AVX.
+	MOVL $1, AX
+	CPUID
+	MOVL CX, R8
+	ANDL $(1<<27 | 1<<28), R8
+	CMPL R8, $(1<<27 | 1<<28)
+	JNE  no
+
+	// XCR0: xmm (bit 1) and ymm (bit 2) state enabled by the OS.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+
+	// AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   no
+
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

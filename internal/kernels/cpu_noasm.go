@@ -1,0 +1,14 @@
+//go:build !amd64 || purego
+
+package kernels
+
+// Builds without an assembly tier (non-amd64 architectures, or any build
+// with the purego tag) run the pure-Go kernels unconditionally; the tier
+// name below is never surfaced because DispatchName reports "purego"
+// whenever useSIMD is false.
+const (
+	simdTier  = "purego"
+	simdWidth = 1
+)
+
+var simdAvailable = false

@@ -11,7 +11,10 @@ package kernels
 // is loaded once and feeds eight independent accumulator chains (four real,
 // four imaginary). Every output's own accumulation order is untouched — tap
 // index ascending, one rounding per multiply and per add — so each output is
-// bit-identical to the reference's, not merely close.
+// bit-identical to the reference's, not merely close. The AVX2 tier maps the
+// same four output chains onto the four lanes of one ymm vector (see
+// simd_amd64.s); per-output arithmetic is unchanged, so it is bit-identical
+// too.
 
 // FIRRealRef is the retained naive reference for FIRReal: one output at a
 // time, tap index ascending over the newest-first window. Frozen as the
@@ -33,10 +36,22 @@ func FIRRealRef(yr, yi, xr, xi, taps []float64) {
 // FIRReal filters the planar extended input xr/xi (history prefix of
 // len(taps)-1 samples, then the frame) with real taps, writing len(yr)
 // outputs. yr/yi must not alias the tail of xr/xi that the remaining windows
-// still read. Bit-identical to FIRRealRef.
+// still read. Bit-identical to FIRRealRef on either dispatch tier.
 //
 //lint:hotpath
 func FIRReal(yr, yi, xr, xi, taps []float64) {
+	if useSIMD {
+		firRealSIMD(yr, yi, xr, xi, taps)
+		return
+	}
+	firRealGo(yr, yi, xr, xi, taps)
+}
+
+// firRealGo is the pure-Go tier of FIRReal and the twin of firRealAsm: four
+// unrolled output chains per iteration, scalar tail.
+//
+//lint:hotpath
+func firRealGo(yr, yi, xr, xi, taps []float64) {
 	last := len(taps) - 1
 	n := len(yr)
 	i := 0
@@ -58,7 +73,16 @@ func FIRReal(yr, yi, xr, xi, taps []float64) {
 		yr[i], yr[i+1], yr[i+2], yr[i+3] = r0, r1, r2, r3
 		yi[i], yi[i+1], yi[i+2], yi[i+3] = s0, s1, s2, s3
 	}
-	for ; i < n; i++ {
+	firRealTail(i, yr, yi, xr, xi, taps)
+}
+
+// firRealTail computes outputs [i, len(yr)) one at a time — the shared
+// scalar remainder of the Go and SIMD tiers.
+//
+//lint:hotpath
+func firRealTail(i int, yr, yi, xr, xi, taps []float64) {
+	last := len(taps) - 1
+	for ; i < len(yr); i++ {
 		var re, im float64
 		base := i + last
 		for d, t := range taps {
@@ -93,10 +117,22 @@ func FIRCplxRef(yr, yi, xr, xi, tr, ti []float64) {
 }
 
 // FIRCplx filters the planar extended input with complex taps split into
-// tr/ti, four outputs per iteration. Bit-identical to FIRCplxRef.
+// tr/ti. Bit-identical to FIRCplxRef on either dispatch tier.
 //
 //lint:hotpath
 func FIRCplx(yr, yi, xr, xi, tr, ti []float64) {
+	if useSIMD {
+		firCplxSIMD(yr, yi, xr, xi, tr, ti)
+		return
+	}
+	firCplxGo(yr, yi, xr, xi, tr, ti)
+}
+
+// firCplxGo is the pure-Go tier of FIRCplx and the twin of firCplxAsm: four
+// output chains per iteration, scalar tail.
+//
+//lint:hotpath
+func firCplxGo(yr, yi, xr, xi, tr, ti []float64) {
 	last := len(tr) - 1
 	n := len(yr)
 	i := 0
@@ -123,7 +159,16 @@ func FIRCplx(yr, yi, xr, xi, tr, ti []float64) {
 		yr[i], yr[i+1], yr[i+2], yr[i+3] = r0, r1, r2, r3
 		yi[i], yi[i+1], yi[i+2], yi[i+3] = s0, s1, s2, s3
 	}
-	for ; i < n; i++ {
+	firCplxTail(i, yr, yi, xr, xi, tr, ti)
+}
+
+// firCplxTail computes outputs [i, len(yr)) one at a time — the shared
+// scalar remainder of the Go and SIMD tiers.
+//
+//lint:hotpath
+func firCplxTail(i int, yr, yi, xr, xi, tr, ti []float64) {
+	last := len(tr) - 1
+	for ; i < len(yr); i++ {
 		var re, im float64
 		base := i + last
 		for d := range tr {

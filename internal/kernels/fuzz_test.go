@@ -99,38 +99,49 @@ func FuzzACSBatch(f *testing.F) {
 		}
 
 		soft := make([][]float64, B)
-		decBatch := make([][]uint64, B)
 		decSeq := make([][]uint64, B)
-		metric := make([]*[64]float64, B)
-		scratch := make([]*[64]float64, B)
-		clean := make([]bool, B)
 		finalSeq := make([][64]float64, B)
 		for b := 0; b < B; b++ {
 			soft[b] = vals[b*2*steps : (b+1)*2*steps]
-			decBatch[b] = make([]uint64, steps)
 			decSeq[b] = make([]uint64, steps)
-			metric[b] = new([64]float64)
-			scratch[b] = new([64]float64)
-			acsInitBank(metric[b])
 
 			var m, s [64]float64
 			acsInitBank(&m)
 			finalSeq[b] = *ACSRun(decSeq[b], soft[b], &m, &s)
 		}
 
-		ACSRunBatch(decBatch, soft, metric, scratch, clean)
+		// Run the batched trellis under both kernel tiers: decisions and
+		// final banks must be bit-identical to sequential either way.
+		prev := DispatchName() != "purego"
+		defer SetDispatch(prev)
+		for _, simd := range []bool{true, false} {
+			SetDispatch(simd)
+			decBatch := make([][]uint64, B)
+			metric := make([]*[64]float64, B)
+			scratch := make([]*[64]float64, B)
+			clean := make([]bool, B)
+			for b := 0; b < B; b++ {
+				decBatch[b] = make([]uint64, steps)
+				metric[b] = new([64]float64)
+				scratch[b] = new([64]float64)
+				acsInitBank(metric[b])
+			}
 
-		for b := 0; b < B; b++ {
-			for i := range decBatch[b] {
-				if decBatch[b][i] != decSeq[b][i] {
-					t.Fatalf("lane %d decision word %d: %#x != sequential %#x", b, i, decBatch[b][i], decSeq[b][i])
+			ACSRunBatch(decBatch, soft, metric, scratch, clean)
+
+			for b := 0; b < B; b++ {
+				for i := range decBatch[b] {
+					if decBatch[b][i] != decSeq[b][i] {
+						t.Fatalf("tier %s lane %d decision word %d: %#x != sequential %#x",
+							DispatchName(), b, i, decBatch[b][i], decSeq[b][i])
+					}
 				}
+				final := metric[b]
+				if steps%2 == 1 {
+					final = scratch[b]
+				}
+				bitsEqual(t, "metric", final[:], finalSeq[b][:])
 			}
-			final := metric[b]
-			if steps%2 == 1 {
-				final = scratch[b]
-			}
-			bitsEqual(t, "metric", final[:], finalSeq[b][:])
 		}
 	})
 }
@@ -179,14 +190,24 @@ func FuzzFIRBatch(f *testing.F) {
 			gi[b] = make([]float64, n)
 		}
 
-		FIRRealBatch(gr, gi, xr, xi, taps)
-
-		wr := make([]float64, n)
-		wi := make([]float64, n)
+		// Sequential oracle once, then the batched kernel under both tiers:
+		// per-lane outputs must match bit for bit on each.
+		wr := make([][]float64, B)
+		wi := make([][]float64, B)
 		for b := 0; b < B; b++ {
-			FIRReal(wr, wi, xr[b], xi[b], taps)
-			bitsEqual(t, "re", gr[b], wr)
-			bitsEqual(t, "im", gi[b], wi)
+			wr[b] = make([]float64, n)
+			wi[b] = make([]float64, n)
+			FIRReal(wr[b], wi[b], xr[b], xi[b], taps)
+		}
+		prev := DispatchName() != "purego"
+		defer SetDispatch(prev)
+		for _, simd := range []bool{true, false} {
+			SetDispatch(simd)
+			FIRRealBatch(gr, gi, xr, xi, taps)
+			for b := 0; b < B; b++ {
+				bitsEqual(t, "re", gr[b], wr[b])
+				bitsEqual(t, "im", gi[b], wi[b])
+			}
 		}
 	})
 }

@@ -4,19 +4,33 @@
 // rewritten on a planar (structure-of-arrays) split-complex representation
 // with explicit unrolling, and nothing else.
 //
-// Contract, enforced by the wlanlint kernelpure analyzer and the package's
-// differential test suite:
+// The package carries two execution tiers behind one API. Every exported
+// kernel dispatches between a pure-Go twin (fooGo) and, on amd64 with AVX2,
+// a hand-written assembly body (fooAsm in simd_amd64.s) that maps one ymm
+// lane to one independent scalar chain — same operations, same order, one
+// rounding per operation, no FMA — so the tiers are bit-identical by
+// construction, not by tolerance. Selection is runtime CPU detection
+// (cpu_amd64.s, no external deps) gated by the WLANSIM_SIMD environment
+// variable and SetDispatch; building with -tags purego removes the assembly
+// tier entirely.
+//
+// Contract, enforced by the wlanlint kernelpure and asmtwin analyzers and
+// the package's differential test suite:
 //
 //   - every kernel is bit-exact against a retained naive reference
 //     implementation (the *Ref functions) on all inputs, adversarial values
 //     included — callers may switch between the two freely;
-//   - the package imports only "math": no allocation sources, no I/O, no
-//     RNGs (stochastic inputs are produced by the caller and passed in);
+//   - every assembly stub fooAsm has a pure-Go twin fooGo of identical
+//     signature, bit-identical on all inputs, exercised differentially by
+//     the asmtwins suite under both dispatch settings;
+//   - the package imports only "math" (kernels) and "os" (the dispatch
+//     gate): no allocation sources, no I/O, no RNGs (stochastic inputs are
+//     produced by the caller and passed in);
 //   - hot functions allocate nothing — buffers are owned by the caller,
 //     typically as Vec fields grown once via Grow;
-//   - loop bodies contain no complex128 arithmetic: operands arrive split
-//     into real and imaginary planes so the compiler schedules independent
-//     scalar chains instead of the 4-mul/2-add complex lockstep.
+//   - Go loop bodies contain no complex128 arithmetic: operands arrive
+//     split into real and imaginary planes so the compiler schedules
+//     independent scalar chains instead of the 4-mul/2-add complex lockstep.
 package kernels
 
 // Vec is a split-complex vector: Re[i] + i*Im[i]. The planar layout is the
@@ -45,20 +59,12 @@ func (v *Vec) Grow(n int) {
 // From fills the vector with the planes of x, growing it to len(x).
 func (v *Vec) From(x []complex128) {
 	v.Grow(len(x))
-	re, im := v.Re, v.Im
-	for i, c := range x {
-		re[i] = real(c)
-		im[i] = imag(c)
-	}
+	Deinterleave(v.Re, v.Im, x)
 }
 
 // CopyTo interleaves the vector back into x, which must have length Len.
 //
 //lint:hotpath
 func (v *Vec) CopyTo(x []complex128) {
-	re, im := v.Re, v.Im
-	x = x[:len(re)]
-	for i := range re {
-		x[i] = complex(re[i], im[i])
-	}
+	Interleave(x[:len(v.Re)], v.Re, v.Im)
 }

@@ -34,11 +34,34 @@ func MixApplyLORef(xr, xi, lor, loi []float64, mur, mui, nur, nui, g, dcr, dci f
 
 // MixApplyLO applies imbalance, LO rotation, gain and DC in place on the
 // planar frame xr/xi, with the LO trajectory in lor/loi. Bit-identical to
-// MixApplyLORef.
+// MixApplyLORef on either dispatch tier (every sample is an independent
+// chain, so the AVX2 tier processes four per vector with per-sample
+// arithmetic unchanged).
 //
 //lint:hotpath
 func MixApplyLO(xr, xi, lor, loi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
-	for i := range xr {
+	if useSIMD {
+		mixApplyLOSIMD(xr, xi, lor, loi, mur, mui, nur, nui, g, dcr, dci)
+		return
+	}
+	mixApplyLOGo(xr, xi, lor, loi, mur, mui, nur, nui, g, dcr, dci)
+}
+
+// mixApplyLOGo is the pure-Go tier of MixApplyLO and the twin of
+// mixApplyLOAsm.
+//
+//lint:hotpath
+func mixApplyLOGo(xr, xi, lor, loi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
+	mixApplyLOTail(0, xr, xi, lor, loi, mur, mui, nur, nui, g, dcr, dci)
+}
+
+// mixApplyLOTail runs the scalar per-sample pass from index i — the whole
+// frame on the Go tier, the ragged remainder after the vector quads on the
+// SIMD tier.
+//
+//lint:hotpath
+func mixApplyLOTail(i int, xr, xi, lor, loi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
+	for ; i < len(xr); i++ {
 		vr, vi := xr[i], xi[i]
 		ci := -vi
 		yr := (mur*vr - mui*vi) + (nur*vr - nui*ci)
@@ -65,11 +88,29 @@ func MixApplyRef(xr, xi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
 }
 
 // MixApply applies imbalance, gain and DC in place on the planar frame
-// xr/xi. Bit-identical to MixApplyRef.
+// xr/xi. Bit-identical to MixApplyRef on either dispatch tier.
 //
 //lint:hotpath
 func MixApply(xr, xi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
-	for i := range xr {
+	if useSIMD {
+		mixApplySIMD(xr, xi, mur, mui, nur, nui, g, dcr, dci)
+		return
+	}
+	mixApplyGo(xr, xi, mur, mui, nur, nui, g, dcr, dci)
+}
+
+// mixApplyGo is the pure-Go tier of MixApply and the twin of mixApplyAsm.
+//
+//lint:hotpath
+func mixApplyGo(xr, xi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
+	mixApplyTail(0, xr, xi, mur, mui, nur, nui, g, dcr, dci)
+}
+
+// mixApplyTail runs the scalar per-sample pass from index i.
+//
+//lint:hotpath
+func mixApplyTail(i int, xr, xi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
+	for ; i < len(xr); i++ {
 		vr, vi := xr[i], xi[i]
 		ci := -vi
 		yr := (mur*vr - mui*vi) + (nur*vr - nui*ci)

@@ -1,0 +1,206 @@
+//go:build amd64 && !purego
+
+package kernels
+
+// AVX2 tier: //go:noescape stubs for the hand-written kernels in
+// simd_amd64.s, plus the thin wrappers that feed the vector bodies whole
+// quads and run the shared scalar tails on the ragged remainder. Every stub
+// fooAsm has a pure-Go twin fooGo with the identical signature; the wlanlint
+// asmtwin analyzer enforces the pairing and the asmtwins differential suite
+// pins the two bit-identical on adversarial inputs under both tiers.
+//
+// The vector bodies never combine values from different chains: one ymm lane
+// carries one scalar dependency chain (a FIR output, a biquad lane, a mixer
+// sample, an ACS butterfly), with no FMA contraction and no reassociation,
+// so per-chain arithmetic — operation order and one rounding per operation —
+// is exactly the Go twin's.
+
+// acsMaskA/acsMaskB hold, per butterfly s, the IEEE sign mask (0 or 1<<63)
+// of the even edge's A/B branch metric: XORing the broadcast branch metric
+// with the mask yields the signed operand, and XORing again with 1<<63 its
+// exact negation — the odd edge and the upper-target signs are complements
+// (see ACSStepRef). Filled from acsSelA/acsSelB at init; read only by
+// acsStepAsm.
+var acsMaskA, acsMaskB [32]uint64
+
+func init() {
+	// Runs after acs.go's init (file-name order) — acsSelA/acsSelB are
+	// already populated.
+	for s := 0; s < 32; s++ {
+		acsMaskA[s] = uint64(acsSelA[2*s]) << 63
+		acsMaskB[s] = uint64(acsSelB[2*s]) << 63
+	}
+}
+
+// acsStepAsm advances one clean trellis step, four butterflies per vector;
+// requires the acsStepGo precondition (finite mA/mB, no NaN/+Inf metrics).
+//
+//go:noescape
+func acsStepAsm(next, metric *[64]float64, mA, mB float64) uint64
+
+// firRealAsm computes len(yr) outputs, four per vector; len(yr) must be a
+// positive multiple of 4 and yi must have at least len(yr) elements.
+//
+//go:noescape
+func firRealAsm(yr, yi, xr, xi, taps []float64)
+
+// firCplxAsm computes len(yr) outputs, four per vector; len(yr) must be a
+// positive multiple of 4 and yi must have at least len(yr) elements.
+//
+//go:noescape
+func firCplxAsm(yr, yi, xr, xi, tr, ti []float64)
+
+// mixApplyAsm processes len(xr) samples, four per vector; len(xr) must be a
+// positive multiple of 4 and xi at least as long.
+//
+//go:noescape
+func mixApplyAsm(xr, xi []float64, mur, mui, nur, nui, gain, dcr, dci float64)
+
+// mixApplyLOAsm processes len(xr) samples, four per vector; len(xr) must be
+// a positive multiple of 4 and xi/lor/loi at least as long.
+//
+//go:noescape
+func mixApplyLOAsm(xr, xi, lor, loi []float64, mur, mui, nur, nui, gain, dcr, dci float64)
+
+// biquadQuadAsm advances exactly four lanes (re[0..3]/im[0..3], equal
+// lengths) with one recurrence per vector lane; s1r/s1i/s2r/s2i carry the
+// four delay states in their first four elements.
+//
+//go:noescape
+func biquadQuadAsm(re, im [][]float64, b0, b1, b2, a1, a2 float64, s1r, s1i, s2r, s2i []float64)
+
+// corrPairAsm accumulates the four correlation chains in one vector over
+// len(ref) taps; x1/x2 must have at least len(ref) elements.
+//
+//go:noescape
+func corrPairAsm(x1, x2, ref []complex128) (s1r, s1im, s2r, s2im float64)
+
+// addPlaneAsm adds src into dst over len(dst) elements; len(dst) must be a
+// positive multiple of 4 and src at least as long.
+//
+//go:noescape
+func addPlaneAsm(dst, src []float64)
+
+// scalePlaneAsm scales dst over len(dst) elements; len(dst) must be a
+// positive multiple of 4.
+//
+//go:noescape
+func scalePlaneAsm(dst []float64, s float64)
+
+// interleaveAsm packs len(x) elements; len(x) must be a positive multiple
+// of 4 and re/im at least as long.
+//
+//go:noescape
+func interleaveAsm(x []complex128, re, im []float64)
+
+// deinterleaveAsm unpacks len(x) elements; len(x) must be a positive
+// multiple of 4 and re/im at least as long.
+//
+//go:noescape
+func deinterleaveAsm(re, im []float64, x []complex128)
+
+//lint:hotpath
+func acsStepSIMD(next, metric *[64]float64, mA, mB float64) uint64 {
+	return acsStepAsm(next, metric, mA, mB)
+}
+
+//lint:hotpath
+func firRealSIMD(yr, yi, xr, xi, taps []float64) {
+	q := len(yr) &^ 3
+	if q > 0 {
+		firRealAsm(yr[:q], yi, xr, xi, taps)
+	}
+	firRealTail(q, yr, yi, xr, xi, taps)
+}
+
+//lint:hotpath
+func firCplxSIMD(yr, yi, xr, xi, tr, ti []float64) {
+	q := len(yr) &^ 3
+	if q > 0 {
+		firCplxAsm(yr[:q], yi, xr, xi, tr, ti)
+	}
+	firCplxTail(q, yr, yi, xr, xi, tr, ti)
+}
+
+//lint:hotpath
+func mixApplySIMD(xr, xi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
+	q := len(xr) &^ 3
+	if q > 0 {
+		mixApplyAsm(xr[:q], xi, mur, mui, nur, nui, g, dcr, dci)
+	}
+	mixApplyTail(q, xr, xi, mur, mui, nur, nui, g, dcr, dci)
+}
+
+//lint:hotpath
+func mixApplyLOSIMD(xr, xi, lor, loi []float64, mur, mui, nur, nui, g, dcr, dci float64) {
+	q := len(xr) &^ 3
+	if q > 0 {
+		mixApplyLOAsm(xr[:q], xi, lor, loi, mur, mui, nur, nui, g, dcr, dci)
+	}
+	mixApplyLOTail(q, xr, xi, lor, loi, mur, mui, nur, nui, g, dcr, dci)
+}
+
+//lint:hotpath
+func biquadBatchSIMD(re, im [][]float64, b0, b1, b2, a1, a2 float64, s1r, s1i, s2r, s2i []float64) {
+	b := 0
+	for ; b+4 <= len(re); b += 4 {
+		biquadQuadAsm(re[b:b+4], im[b:b+4], b0, b1, b2, a1, a2,
+			s1r[b:b+4], s1i[b:b+4], s2r[b:b+4], s2i[b:b+4])
+	}
+	for ; b+2 <= len(re); b += 2 {
+		biquadPair(re[b], im[b], re[b+1], im[b+1], b0, b1, b2, a1, a2, s1r[b:], s1i[b:], s2r[b:], s2i[b:])
+	}
+	if b < len(re) {
+		biquadLane(re[b], im[b], b0, b1, b2, a1, a2, s1r[b:], s1i[b:], s2r[b:], s2i[b:])
+	}
+}
+
+//lint:hotpath
+func corrPairSIMD(x1, x2, ref []complex128) (s1r, s1im, s2r, s2im float64) {
+	return corrPairAsm(x1, x2, ref)
+}
+
+//lint:hotpath
+func addPlaneSIMD(dst, src []float64) {
+	q := len(dst) &^ 3
+	if q > 0 {
+		addPlaneAsm(dst[:q], src)
+	}
+	for i := q; i < len(dst); i++ {
+		dst[i] += src[i]
+	}
+}
+
+//lint:hotpath
+func scalePlaneSIMD(dst []float64, s float64) {
+	q := len(dst) &^ 3
+	if q > 0 {
+		scalePlaneAsm(dst[:q], s)
+	}
+	for i := q; i < len(dst); i++ {
+		dst[i] *= s
+	}
+}
+
+//lint:hotpath
+func interleaveSIMD(x []complex128, re, im []float64) {
+	q := len(x) &^ 3
+	if q > 0 {
+		interleaveAsm(x[:q], re, im)
+	}
+	for i := q; i < len(x); i++ {
+		x[i] = complex(re[i], im[i])
+	}
+}
+
+//lint:hotpath
+func deinterleaveSIMD(re, im []float64, x []complex128) {
+	q := len(x) &^ 3
+	if q > 0 {
+		deinterleaveAsm(re, im, x[:q])
+	}
+	for i := q; i < len(x); i++ {
+		re[i] = real(x[i])
+		im[i] = imag(x[i])
+	}
+}

@@ -1,0 +1,159 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// AsmTwin enforces the internal/kernels assembly-tier contract: hand-written
+// assembly is only admissible behind a pure-Go twin and a differential test.
+// For every assembly stub — a bodyless function declaration, which is how a
+// TEXT symbol surfaces in the package — three facts must hold, each of which
+// would otherwise erode the bit-exactness story silently:
+//
+//  1. the stub carries //go:noescape. The kernels never retain their
+//     arguments, and without the directive every planar slice passed to an
+//     assembly body is forced to escape, which the hotpath allocation gates
+//     then miss because the allocation moves to the caller;
+//  2. the stub is named fooAsm and the package declares a pure-Go twin fooGo
+//     with the identical signature and a body. The twin is the semantic
+//     definition — the assembly is an implementation of it, the purego build
+//     runs it, and the pairing is what the differential suite pins;
+//  3. some _test.go file in the package references the stub by name, so a
+//     stub cannot land without differential coverage against its twin.
+//
+// Feature-detection probes (no parameters, e.g. a CPUID wrapper) carry no
+// Go-visible data and are exempt from the twin and test requirements.
+var AsmTwin = &Analyzer{
+	Name: "asmtwin",
+	Doc: "require every assembly stub in internal/kernels to carry " +
+		"//go:noescape, pair with a pure-Go twin of identical signature " +
+		"(fooAsm/fooGo), and be referenced by a differential test",
+	Run: runAsmTwin,
+}
+
+func runAsmTwin(pass *Pass) {
+	if !isKernelPackage(pass.Pkg.Path) {
+		return
+	}
+	// Index the package's function declarations by name.
+	decls := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil {
+				decls[fd.Name.Name] = fd
+			}
+		}
+	}
+	var testIdents map[string]bool // lazily loaded: most packages have no stubs
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body != nil || fd.Recv != nil {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Type.Params == nil || len(fd.Type.Params.List) == 0 {
+				continue // feature-detection probe: no Go-visible data
+			}
+			if !hasNoescapeDirective(fd) {
+				pass.Reportf(fd.Pos(),
+					"add //go:noescape: the kernels never retain their arguments, and without it every slice argument escapes at the call site",
+					"assembly stub %s lacks a //go:noescape directive", name)
+			}
+			base, ok := strings.CutSuffix(name, "Asm")
+			if !ok || base == "" {
+				pass.Reportf(fd.Pos(),
+					"name assembly stubs fooAsm so the fooGo twin pairing is checkable",
+					"assembly stub %s does not follow the fooAsm naming convention", name)
+				continue
+			}
+			twinName := base + "Go"
+			twin := decls[twinName]
+			switch {
+			case twin == nil:
+				pass.Reportf(fd.Pos(),
+					"declare the pure-Go twin: it is the semantic definition the assembly implements and the purego build runs",
+					"assembly stub %s has no pure-Go twin %s", name, twinName)
+			case twin.Body == nil:
+				pass.Reportf(fd.Pos(),
+					"the twin must be pure Go: a second assembly symbol defines nothing to verify against",
+					"twin %s of assembly stub %s has no body", twinName, name)
+			case !signaturesIdentical(pass, fd, twin):
+				pass.Reportf(fd.Pos(),
+					"keep stub and twin signatures identical so the differential test can drive both through one call shape",
+					"assembly stub %s and twin %s have different signatures", name, twinName)
+			}
+			if testIdents == nil {
+				testIdents = testFileIdents(pass.Pkg.Dir)
+			}
+			if !testIdents[name] {
+				pass.Reportf(fd.Pos(),
+					"add the stub to the differential suite (see asmtwins_test.go): assembly must not land without bit-exactness coverage against its twin",
+					"assembly stub %s is not referenced by any _test.go file in the package", name)
+			}
+		}
+	}
+}
+
+// hasNoescapeDirective reports whether the declaration's doc comment group
+// carries the //go:noescape compiler directive.
+func hasNoescapeDirective(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == "//go:noescape" {
+			return true
+		}
+	}
+	return false
+}
+
+// signaturesIdentical compares the types of two function declarations.
+func signaturesIdentical(pass *Pass, a, b *ast.FuncDecl) bool {
+	oa := pass.Pkg.Info.Defs[a.Name]
+	ob := pass.Pkg.Info.Defs[b.Name]
+	if oa == nil || ob == nil {
+		return false
+	}
+	return types.Identical(oa.Type(), ob.Type())
+}
+
+// testFileIdents syntactically parses the package's _test.go files and
+// collects every identifier they use. Test files are outside the loader's
+// type-checked file set by design, so the reference check is name-based: a
+// stub name appearing anywhere in a test file counts as coverage (the
+// asmtwins suite calls stubs directly through their SIMD wrappers' names or
+// via explicit stub references in its kernel tables). Unreadable files are
+// skipped; a missing directory yields no identifiers.
+func testFileIdents(dir string) map[string]bool {
+	idents := make(map[string]bool)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return idents
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				idents[id.Name] = true
+			}
+			return true
+		})
+	}
+	return idents
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/build/constraint"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Build-constraint awareness for the loader. The per-arch SIMD tier of
+// internal/kernels splits symbols across //go:build amd64 / !amd64 files, so
+// listing every .go file in a directory no longer type-checks: the loader
+// must select the same file set the go tool would for the host
+// GOOS/GOARCH. Two mechanisms matter, both resolved here with the standard
+// library only: _GOOS/_GOARCH filename suffixes and //go:build lines
+// (evaluated via go/build/constraint). Tags beyond the host platform — in
+// particular the purego escape hatch — are unset, matching a default
+// `go build` on the host; the purego configuration is exercised separately
+// by the -tags purego CI job, not by the linter.
+
+// knownOS and knownArch mirror the go tool's recognized filename-suffix
+// vocabularies (the stable subsets that can appear in this module or its
+// toolchain's files).
+var knownOS = map[string]bool{
+	"aix": true, "android": true, "darwin": true, "dragonfly": true,
+	"freebsd": true, "illumos": true, "ios": true, "js": true,
+	"linux": true, "netbsd": true, "openbsd": true, "plan9": true,
+	"solaris": true, "wasip1": true, "windows": true,
+}
+
+var knownArch = map[string]bool{
+	"386": true, "amd64": true, "arm": true, "arm64": true,
+	"loong64": true, "mips": true, "mips64": true, "mips64le": true,
+	"mipsle": true, "ppc64": true, "ppc64le": true, "riscv64": true,
+	"s390x": true, "wasm": true,
+}
+
+// buildTagSatisfied is the tag environment constraint expressions are
+// evaluated in: the host GOOS/GOARCH, the gc toolchain, the unix umbrella
+// when applicable, and every go1.N language-version tag (the loader always
+// runs under the toolchain that built it). Everything else — purego,
+// custom tags — is unset.
+func buildTagSatisfied(tag string) bool {
+	switch tag {
+	case runtime.GOOS, runtime.GOARCH, "gc":
+		return true
+	case "unix":
+		switch runtime.GOOS {
+		case "aix", "android", "darwin", "dragonfly", "freebsd", "illumos",
+			"ios", "linux", "netbsd", "openbsd", "solaris":
+			return true
+		}
+		return false
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+// filenameConstraintSatisfied applies the go tool's implicit filename rules:
+// name_GOOS.go, name_GOARCH.go, and name_GOOS_GOARCH.go restrict a file to
+// that platform. A bare suffix with no preceding body ("amd64.go") is a
+// plain name, not a constraint.
+func filenameConstraintSatisfied(name string) bool {
+	base := strings.TrimSuffix(name, ".go")
+	parts := strings.Split(base, "_")
+	if len(parts) < 2 {
+		return true
+	}
+	last := parts[len(parts)-1]
+	if knownArch[last] {
+		if last != runtime.GOARCH {
+			return false
+		}
+		if len(parts) >= 3 && knownOS[parts[len(parts)-2]] {
+			return parts[len(parts)-2] == runtime.GOOS
+		}
+		return true
+	}
+	if knownOS[last] {
+		return last == runtime.GOOS
+	}
+	return true
+}
+
+// fileConstraintSatisfied reports whether the file at dir/name would be
+// compiled by a default `go build` on the host platform: filename suffix
+// rules first, then the //go:build (or legacy // +build) line, which must
+// appear in the leading comment block before the package clause. Unreadable
+// or malformed files are included — the parser will surface the real error.
+func fileConstraintSatisfied(dir, name string) bool {
+	if !filenameConstraintSatisfied(name) {
+		return false
+	}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return true
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if !strings.HasPrefix(trimmed, "//") {
+			break // package clause (or code): constraints must precede it
+		}
+		if constraint.IsGoBuild(trimmed) || constraint.IsPlusBuild(trimmed) {
+			expr, err := constraint.Parse(trimmed)
+			if err != nil {
+				return true
+			}
+			return expr.Eval(buildTagSatisfied)
+		}
+	}
+	return true
+}

@@ -13,9 +13,10 @@ import (
 // scalar math. Three invariants are checked, each of which would silently
 // erode the layer's guarantees if violated:
 //
-//  1. the package imports only "math" — any other import smuggles in
-//     allocation sources, I/O or RNG state the differential harness cannot
-//     see;
+//  1. the package imports only "math" and "os" — "os" exists solely for the
+//     WLANSIM_SIMD dispatch gate read once at init; any other import
+//     smuggles in allocation sources, I/O or RNG state the differential
+//     harness cannot see;
 //  2. hot functions allocate nothing — make/new/append and composite
 //     literals are confined to constructors (New*), one-time init, and the
 //     Grow convention for caller-owned buffers, so a kernel held across
@@ -31,8 +32,8 @@ import (
 var KernelPure = &Analyzer{
 	Name: "kernelpure",
 	Doc: "enforce the internal/kernels purity contract: imports limited to " +
-		"\"math\", no allocation outside constructors/init, and no complex " +
-		"arithmetic inside loop bodies",
+		"\"math\" and \"os\" (dispatch gate), no allocation outside " +
+		"constructors/init, and no complex arithmetic inside loop bodies",
 	Run: runKernelPure,
 }
 
@@ -55,16 +56,17 @@ func runKernelPure(pass *Pass) {
 	if !isKernelPackage(pass.Pkg.Path) {
 		return
 	}
-	// Invariant 1: imports limited to "math".
+	// Invariant 1: imports limited to "math" and "os" (the latter for the
+	// WLANSIM_SIMD dispatch gate only).
 	for _, f := range pass.Pkg.Files {
 		for _, imp := range f.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
-			if err != nil || path == "math" {
+			if err != nil || path == "math" || path == "os" {
 				continue
 			}
 			pass.Reportf(imp.Pos(),
 				"keep the kernels layer a leaf: pass data in planar slices and let the caller own I/O, RNGs and buffers",
-				"kernels package imports %q; the purity contract allows only \"math\"", path)
+				"kernels package imports %q; the purity contract allows only \"math\" and \"os\"", path)
 		}
 	}
 	// Invariants 2 and 3 are scoped per function declaration.

@@ -26,6 +26,17 @@ func describe(x float64) { fmt.Println(math.Abs(x)) }
 			},
 		},
 		{
+			name: "os import allowed for the dispatch gate",
+			path: "example.com/m/internal/kernels",
+			src: `package kernels
+
+import "os"
+
+var simdOff = os.Getenv("WLANSIM_SIMD") == "off"
+`,
+			want: nil,
+		},
+		{
 			name: "allocation in hot function",
 			path: "example.com/m/internal/kernels",
 			src: `package kernels

@@ -120,7 +120,7 @@ func (p *Pass) Reportf(pos token.Pos, hint, format string, args ...any) {
 func All() []*Analyzer {
 	return []*Analyzer{
 		UnitsDiscipline, SeededRand, FloatEq, UnkeyedConfig, HotPathExp,
-		KernelPure, UnitsFlow, DetFlow,
+		KernelPure, AsmTwin, UnitsFlow, DetFlow,
 	}
 }
 

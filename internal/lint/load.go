@@ -114,7 +114,9 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return p.TPkg, nil
 }
 
-// goFilesIn lists the non-test .go files of dir, sorted by name.
+// goFilesIn lists the non-test .go files of dir that a default `go build`
+// on the host platform would compile (see fileConstraintSatisfied), sorted
+// by name.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -125,6 +127,9 @@ func goFilesIn(dir string) ([]string, error) {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !fileConstraintSatisfied(dir, name) {
 			continue
 		}
 		names = append(names, name)

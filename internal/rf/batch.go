@@ -145,10 +145,8 @@ func (a *Amplifier) processBatch(lanes [][]complex128, nre, nim []float64) {
 	n := len(lanes[0])
 	nre, nim = nre[:n], nim[:n]
 	randutil.FillNormPairs(a.noise, nre, nim)
-	for i := 0; i < n; i++ {
-		nre[i] *= a.nsig
-		nim[i] *= a.nsig
-	}
+	kernels.ScalePlane(nre, a.nsig)
+	kernels.ScalePlane(nim, a.nsig)
 	for _, lane := range lanes {
 		for i, v := range lane {
 			lane[i] = a.amplify(v + complex(nre[i], nim[i]))
@@ -169,16 +167,11 @@ func (m *Mixer) processBatchPlanar(xr, xi [][]float64, nre, nim []float64) {
 	if m.noise != nil {
 		nre, nim = nre[:n], nim[:n]
 		randutil.FillNormPairs(m.noise, nre, nim)
-		for i := 0; i < n; i++ {
-			nre[i] *= m.nsig
-			nim[i] *= m.nsig
-		}
+		kernels.ScalePlane(nre, m.nsig)
+		kernels.ScalePlane(nim, m.nsig)
 		for l := 0; l < L; l++ {
-			re, im := xr[l], xi[l]
-			for i := 0; i < n; i++ {
-				re[i] += nre[i]
-				im[i] += nim[i]
-			}
+			kernels.AddPlane(xr[l][:n], nre)
+			kernels.AddPlane(xi[l][:n], nim)
 		}
 	}
 	mur, mui := real(m.mu), imag(m.mu)
@@ -295,11 +288,7 @@ func (b *BatchReceiver) Process(lanes [][]complex128) [][]complex128 {
 	// them changes no arithmetic.
 	xr, xi := b.xr[:L], b.xi[:L]
 	for l, lane := range lanes {
-		re, im := xr[l], xi[l]
-		for i, v := range lane {
-			re[i] = real(v)
-			im[i] = imag(v)
-		}
+		kernels.Deinterleave(xr[l], xi[l], lane)
 	}
 	b.rx.mixer1.processBatchPlanar(xr, xi, b.nre, b.nim)
 	if b.dcb != nil {
@@ -310,10 +299,7 @@ func (b *BatchReceiver) Process(lanes [][]complex128) [][]complex128 {
 		b.chs.ProcessPlanar(xr, xi)
 	}
 	for l, lane := range lanes {
-		re, im := xr[l], xi[l]
-		for i := range lane {
-			lane[i] = complex(re[i], im[i])
-		}
+		kernels.Interleave(lane, xr[l], xi[l])
 	}
 
 	b.rx.agc.processBatch(lanes, &b.agc)

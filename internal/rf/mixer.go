@@ -319,7 +319,6 @@ func (m *Mixer) Process(x []complex128) []complex128 {
 			x[i] += complex(m.noise.NormFloat64()*m.nsig, m.noise.NormFloat64()*m.nsig)
 		}
 	}
-	//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
 	m.xv.From(x)
 	mur, mui := real(m.mu), imag(m.mu)
 	nur, nui := real(m.nu), imag(m.nu)

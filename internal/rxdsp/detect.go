@@ -12,6 +12,7 @@ import (
 	"math"
 	"math/cmplx"
 
+	"wlansim/internal/kernels"
 	"wlansim/internal/phy"
 )
 
@@ -163,27 +164,12 @@ func FineTiming(x []complex128, searchFrom, searchLen int) (int, error) {
 }
 
 // corrPair evaluates the two conjugate dot products sum(seg[l+k]*conj(ref[k]))
-// and sum(seg[l+64+k]*conj(ref[k])) in split-complex form: each tap of
-// s += z*conj(r) expands to re += a*rr - b*(-ri), im += a*(-ri) + b*rr, and
-// because IEEE-754 negation is exact, each of those rounds identically to the
-// single-rounding forms a*rr + b*ri and b*rr - a*ri used here. The four
-// accumulators are independent dependency chains the CPU overlaps, where the
-// complex form serializes every += behind two dependent subexpressions.
+// and sum(seg[l+64+k]*conj(ref[k])) via kernels.CorrPair, which runs the four
+// accumulator chains split-complex (scalar ILP on the Go tier, one ymm lane
+// each on the AVX2 tier) and is bit-exact against the naive complex form.
 // Bit-exact vs corrPairRef (TestCorrPairEquivalence).
 func corrPair(seg, ref []complex128, l int) (s1, s2 complex128) {
-	x1 := seg[l : l+len(ref)]
-	x2 := seg[l+64 : l+64+len(ref)]
-	var s1re, s1im, s2re, s2im float64
-	for k, r := range ref {
-		rr, ri := real(r), imag(r)
-		a, b := real(x1[k]), imag(x1[k])
-		c, d := real(x2[k]), imag(x2[k])
-		s1re += a*rr + b*ri
-		s1im += b*rr - a*ri
-		s2re += c*rr + d*ri
-		s2im += d*rr - c*ri
-	}
-	return complex(s1re, s1im), complex(s2re, s2im)
+	return kernels.CorrPair(seg[l:], seg[l+64:], ref)
 }
 
 // corrPairRef is the retained naive complex-arithmetic reference for corrPair;

@@ -33,12 +33,16 @@ type Sweep struct {
 	RunPoint func(value float64) (measure.Point, error)
 	// RunPointBatch, if set together with BatchSize > 1, evaluates a group of
 	// consecutive swept values in one call (the batched lock-step pipeline)
-	// and returns one point per value, in order. Full groups of BatchSize are
-	// dispatched batched; the ragged tail (fewer than BatchSize values) and
-	// BatchSize <= 1 fall back to RunPoint/Run point by point. The resulting
-	// series must not depend on the dispatch: a batch implementation is
-	// required to be bit-identical to its scalar counterpart, and each group
-	// is one work unit, so worker-count independence is preserved unchanged.
+	// and returns one point per value, in order. Every group is dispatched
+	// batched: a ragged tail (fewer than BatchSize values) is padded up to
+	// BatchSize by repeating its last value as dummy lanes whose results are
+	// discarded, so RunPointBatch always sees exactly BatchSize values and the
+	// scalar path never runs when batching is configured. BatchSize <= 1
+	// falls back to RunPoint/Run point by point. The resulting series must
+	// not depend on the dispatch: a batch implementation is required to be
+	// bit-identical to its scalar counterpart lane by lane (which is also what
+	// makes dummy-lane padding sound), and each group is one work unit, so
+	// worker-count independence is preserved unchanged.
 	RunPointBatch func(values []float64) ([]measure.Point, error)
 	// BatchSize is the group width for RunPointBatch.
 	BatchSize int
@@ -110,8 +114,9 @@ type sweepChunk struct {
 
 // chunks partitions Values into work units. Without a usable batch
 // configuration every value is its own unit (the historical behavior). With
-// one, consecutive full groups of BatchSize go to RunPointBatch and the
-// ragged tail degrades to per-point units — never a short batch.
+// one, consecutive groups of BatchSize go to RunPointBatch; the ragged tail
+// stays one batched unit too — runChunkInto pads it with dummy lanes — so the
+// scalar path never runs when batching is configured.
 func (s *Sweep) chunks() []sweepChunk {
 	n := len(s.Values)
 	if s.RunPointBatch == nil || s.BatchSize <= 1 {
@@ -121,31 +126,43 @@ func (s *Sweep) chunks() []sweepChunk {
 		}
 		return out
 	}
-	out := make([]sweepChunk, 0, n/s.BatchSize+s.BatchSize)
-	i := 0
-	for ; i+s.BatchSize <= n; i += s.BatchSize {
-		out = append(out, sweepChunk{start: i, end: i + s.BatchSize, batched: true})
-	}
-	for ; i < n; i++ {
-		out = append(out, sweepChunk{start: i, end: i + 1})
+	out := make([]sweepChunk, 0, (n+s.BatchSize-1)/s.BatchSize)
+	for i := 0; i < n; i += s.BatchSize {
+		end := i + s.BatchSize
+		if end > n {
+			end = n
+		}
+		out = append(out, sweepChunk{start: i, end: end, batched: true})
 	}
 	return out
 }
 
 // runChunkInto evaluates one work unit into dst (length c.end-c.start, in
-// Values order, X stamped on return).
+// Values order, X stamped on return). A ragged batched unit is padded up to
+// BatchSize by repeating its last value: the dummy lanes run the full
+// lock-step pipeline and their points are discarded, which is sound because
+// the batch contract makes every lane bit-identical to its scalar run
+// regardless of its batch-mates.
 func (s *Sweep) runChunkInto(run func(value float64) (measure.Point, error), c sweepChunk, dst []measure.Point) error {
 	values := s.Values[c.start:c.end]
 	if c.batched {
-		pts, err := s.RunPointBatch(values)
+		batchVals := values
+		if len(values) < s.BatchSize {
+			batchVals = make([]float64, s.BatchSize)
+			copy(batchVals, values)
+			for i := len(values); i < s.BatchSize; i++ {
+				batchVals[i] = values[len(values)-1]
+			}
+		}
+		pts, err := s.RunPointBatch(batchVals)
 		if err != nil {
 			return fmt.Errorf("sim: sweep %q batch at %g: %w", s.Name, values[0], err)
 		}
-		if len(pts) != len(values) {
+		if len(pts) != len(batchVals) {
 			return fmt.Errorf("sim: sweep %q batch at %g returned %d points for %d values",
-				s.Name, values[0], len(pts), len(values))
+				s.Name, values[0], len(pts), len(batchVals))
 		}
-		copy(dst, pts)
+		copy(dst, pts[:len(values)])
 		for i := range dst {
 			dst[i].X = values[i]
 		}

@@ -50,10 +50,11 @@ func (r *batchRecorder) sweep(values []float64, batchSize, workers int) *Sweep {
 	}
 }
 
-// TestSweepBatchDispatch pins the grouping contract: full consecutive groups
-// of BatchSize go to RunPointBatch, the ragged tail runs point by point, and
-// the series is identical to the scalar sweep in value order — for serial
-// and parallel execution alike.
+// TestSweepBatchDispatch pins the grouping contract: every value is served by
+// RunPointBatch in consecutive groups of exactly BatchSize — the ragged tail
+// is padded with dummy repeats of its last value rather than degrading to the
+// scalar path — and the series is identical to the scalar sweep in value
+// order, for serial and parallel execution alike.
 func TestSweepBatchDispatch(t *testing.T) {
 	values := Linspace(1, 10, 10)
 	for _, workers := range []int{1, 4} {
@@ -71,16 +72,54 @@ func TestSweepBatchDispatch(t *testing.T) {
 			if p != want {
 				t.Errorf("workers=%d point %d: got %+v, want %+v", workers, i, p, want)
 			}
-			wantBatched := i < 8 // two full groups of 4; values 9, 10 are the tail
-			if rec.batched[values[i]] != wantBatched {
-				t.Errorf("workers=%d value %g: batched=%v, want %v", workers, values[i], rec.batched[values[i]], wantBatched)
+			if !rec.batched[values[i]] {
+				t.Errorf("workers=%d value %g: served by the scalar path, want batched", workers, values[i])
 			}
+		}
+		if len(rec.groups) != 3 {
+			t.Fatalf("workers=%d: %d batch groups dispatched, want 3", workers, len(rec.groups))
 		}
 		for _, g := range rec.groups {
 			if len(g) != 4 {
 				t.Errorf("workers=%d: batch group of %d values dispatched, want exactly 4", workers, len(g))
 			}
 		}
+	}
+}
+
+// TestSweepBatchRaggedTailPadded pins the padding itself: the tail group is
+// the tail values followed by repeats of the last one, its dummy points are
+// discarded, and a single-value tail still never touches the scalar path.
+func TestSweepBatchRaggedTailPadded(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		values   []float64
+		lastWant []float64
+	}{
+		{"tail of two", Linspace(1, 10, 10), []float64{9, 10, 10, 10}},
+		{"tail of one", Linspace(1, 5, 5), []float64{5, 5, 5, 5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := &batchRecorder{}
+			s := rec.sweep(tc.values, 4, 1)
+			series, err := s.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(series.Points) != len(tc.values) {
+				t.Fatalf("%d points for %d values — dummy-lane points leaked into the series",
+					len(series.Points), len(tc.values))
+			}
+			last := rec.groups[len(rec.groups)-1]
+			if len(last) != len(tc.lastWant) {
+				t.Fatalf("tail group has %d values, want %d", len(last), len(tc.lastWant))
+			}
+			for i, v := range last {
+				if v != tc.lastWant[i] {
+					t.Fatalf("tail group %v, want %v", last, tc.lastWant)
+				}
+			}
+		})
 	}
 }
 

@@ -19,7 +19,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_7.json}"
+out="${1:-BENCH_8.json}"
 benchtime="${BENCH_COUNT:-50x}"
 runs="${BENCH_RUNS:-5}"
 if [ "$runs" -lt 5 ]; then
@@ -28,6 +28,13 @@ if [ "$runs" -lt 5 ]; then
 fi
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
+
+# Kernel-dispatch identity of this run (avx2 / purego and the SIMD lane
+# width), recorded in the JSON so benchmark numbers are attributable to a
+# kernel tier. WLANSIM_SIMD=off and the purego build tag both surface here.
+dispatch_line="$(go run ./cmd/wlansim version | grep '^kernels:')"
+dispatch="$(echo "$dispatch_line" | awk '{gsub(/,/, "", $3); print $3}')"
+lane_width="$(echo "$dispatch_line" | awk '{for (i = 1; i < NF; i++) if ($i == "width") {gsub(/[^0-9]/, "", $(i+1)); print $(i+1)}}')"
 
 run_bench() {
     pkg="$1"
@@ -41,7 +48,7 @@ run_bench ./internal/phy/viterbi  'BenchmarkDecodeSoft'
 run_bench ./internal/dsp          'BenchmarkFIRProcess|BenchmarkComplexFIRProcess|BenchmarkFFT|BenchmarkDFT'
 run_bench ./internal/phy          'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol'
 
-awk -v out_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+awk -v out_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v dispatch="$dispatch" -v lane_width="$lane_width" '
 function median(arr, n,    i, j, tmp) {
     # insertion sort: n is tiny (BENCH_RUNS samples)
     for (i = 2; i <= n; i++) {
@@ -83,22 +90,20 @@ END {
     }
     printf "\n  ],\n"
     printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"dispatch\": {\"kernels\": \"%s\", \"lane_width\": %d},\n", dispatch, lane_width
     printf "  \"date\": \"%s\"\n}\n", out_date
 }
 BEGIN {
-    printf "{\n  \"issue\": 7,\n"
-    # Pre-PR baseline for the acceptance scenario: the batched-sweep
-    # benchmark measured at commit 4d9acd7 (before the SoA batch layer) in a
-    # git worktree, interleaved round-by-round with the post-change runs on
-    # the same machine so slow drift in machine load cancels out of the
-    # ratio. BenchmarkSweepBatched does not exist at 4d9acd7, so the
-    # baseline worktree ran an injected twin benchmark with the identical
-    # sweep configuration (8 noise points, 24 Mbit/s, 2 packets of 100
-    # bytes, Workers=1) calling the sequential runBERPoint per point.
+    printf "{\n  \"issue\": 8,\n"
+    # Pre-PR baseline for the acceptance scenario: BenchmarkSweepBatched
+    # measured at commit 50ab4db (the SoA batch layer without the assembly
+    # tier) in a git worktree, interleaved round-by-round with the
+    # post-change runs on the same machine so slow drift in machine load
+    # cancels out of the ratio.
     printf "  \"baseline\": {\n"
-    printf "    \"commit\": \"4d9acd7\",\n"
-    printf "    \"protocol\": \"median of 7 interleaved worktree rounds, median of 3 samples per round\",\n"
-    printf "    \"BenchmarkSweepBatched\": {\"ns_per_op\": 12461030}\n"
+    printf "    \"commit\": \"50ab4db\",\n"
+    printf "    \"protocol\": \"median of 5 interleaved worktree rounds, median of 3 samples per round\",\n"
+    printf "    \"BenchmarkSweepBatched\": {\"ns_per_op\": 7929661}\n"
     printf "  },\n"
     printf "  \"benchmarks\": [\n"
 }

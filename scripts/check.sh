@@ -34,6 +34,33 @@ go run ./cmd/wlanlint -escape ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Kernel dispatch tiers. The assembly tier must be bit-identical to the
+# pure-Go tier, and every configuration that can disable it must actually
+# run: the WLANSIM_SIMD=off env override, the purego build tag, and (on
+# amd64) the asm-twin differential suite itself. `go test -list` guards make
+# a silent skip impossible — if a build tag or rename ever drops the suites
+# from the compiled set, the gate fails loudly instead of passing on an
+# empty run.
+echo "==> kernel dispatch tiers"
+if [ "$(go env GOARCH)" = "amd64" ]; then
+    asm_pat='AsmMatchesGo|ExportedKernelsMatchRefBothTiers|SetDispatchToggles|GoldenBERDispatchInvariant'
+    n="$(go test -run '^$' -list "$asm_pat" ./internal/kernels | grep -c '^Test' || true)"
+    if [ "$n" -lt 9 ]; then
+        echo "FAIL: internal/kernels lists only $n asm-twin differential tests matching '$asm_pat' (silent skip)" >&2
+        exit 1
+    fi
+    echo "    asm-twin differential suite ($n kernel tests), both tiers under -race"
+    go test -race -run "$asm_pat" -count=1 ./internal/kernels ./internal/core > /dev/null
+else
+    echo "    $(go env GOARCH): no assembly tier; pure-Go path is the only tier"
+fi
+echo "    WLANSIM_SIMD=off (env-forced pure-Go dispatch)"
+WLANSIM_SIMD=off go test -race -count=1 ./internal/kernels > /dev/null
+echo "    -tags purego (assembly tier compiled out)"
+go build -tags purego ./...
+go vet -tags purego ./...
+go test -tags purego -count=1 ./internal/kernels ./internal/core > /dev/null
+
 # Coverage floors. The sweep engine and the experiment layer carry the
 # determinism contract, and the lint engine is itself the verifier every
 # other gate trusts, so their coverage must not regress. Each floor sits
@@ -101,7 +128,7 @@ go test -run '^$' -bench 'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol' -be
 # compares distributions; the median over 5+ samples is the shell-portable
 # analogue — unlike best-of-N it is robust to noise in both directions, and
 # unlike the mean one co-tenant spike cannot drag it) against the medians
-# recorded in BENCH_7.json, failing on a regression beyond the slack. A
+# recorded in BENCH_8.json, failing on a regression beyond the slack. A
 # first failure triggers one escalation round with longer runs that decides
 # from its own samples alone — merging would keep round-one samples that a
 # transient co-tenant load spike already poisoned. The first
@@ -110,7 +137,7 @@ go test -run '^$' -bench 'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol' -be
 # near-constant ~10% above the recorded medians, which would eat the whole
 # slack budget. Tune with CHECK_BENCH_TIME and CHECK_BENCH_SLACK_PCT (see
 # the knobs above); CHECK_SKIP_BENCH=1 skips the gate entirely.
-bench_ref="BENCH_7.json"
+bench_ref="BENCH_8.json"
 echo "==> benchmark regression gate (vs $bench_ref, >${CHECK_BENCH_SLACK_PCT:-10}% fails)"
 if [ "${CHECK_SKIP_BENCH:-0}" = "1" ]; then
     echo "    CHECK_SKIP_BENCH=1; skipping"
@@ -186,4 +213,4 @@ for dir in $(grep -rl '^func Fuzz' --include='*_test.go' . | xargs -n1 dirname |
     done
 done
 
-echo "OK: build, vet, wlanlint, escape gate, race tests, coverage floors, alloc gates, bench smoke, regression gate and fuzz all clean"
+echo "OK: build, vet, wlanlint, escape gate, race tests, dispatch tiers, coverage floors, alloc gates, bench smoke, regression gate and fuzz all clean"

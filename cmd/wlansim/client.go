@@ -1,0 +1,193 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"wlansim/internal/measure"
+	"wlansim/internal/service"
+)
+
+// Output-format plumbing shared by every sweep subcommand. -format json
+// emits the figure through measure's JSON codecs — the same encoder the
+// wlansimd daemon responds with, so piping `wlansim fig5 -format json`
+// and fetching the equivalent job from the daemon yield interchangeable
+// documents (full CI columns, sample counts, CacheStats).
+
+// formatFlag registers the -format flag on a sweep subcommand.
+func formatFlag(fs *flag.FlagSet) *string {
+	return fs.String("format", "text", "output format: text | json")
+}
+
+// emitFigure prints a figure in the selected format. In json mode the
+// cache stats ride inside each series document, so the text-mode
+// printCacheStats trailer is skipped by the callers.
+func emitFigure(fig *measure.Figure, format string) error {
+	switch format {
+	case "text":
+		fmt.Print(fig.String())
+		printCacheStats(fig.Series...)
+		return nil
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(fig)
+	default:
+		return fmt.Errorf("unknown format %q (want text or json)", format)
+	}
+}
+
+// serviceFlags registers the daemon-address flag shared by the client
+// commands.
+func serviceFlags(fs *flag.FlagSet) *string {
+	return fs.String("addr", "http://127.0.0.1:8823", "wlansimd base URL")
+}
+
+// specFlags registers flags mirroring service.SweepSpec and returns a
+// closure that assembles the spec after Parse.
+func specFlags(fs *flag.FlagSet) func() service.SweepSpec {
+	kind := fs.String("kind", "snr", "sweep kind: fig5 | fig6 | ip3 | evm | snr")
+	rate := fs.Int("rate", 0, "data rate (Mbps, 0 = kind default)")
+	psdu := fs.Int("len", 0, "PSDU length (octets, 0 = kind default)")
+	packets := fs.Int("packets", 0, "packets per point (0 = kind default)")
+	seed := fs.Int64("seed", 0, "root seed (0 = kind default)")
+	power := fs.Float64("power", 0, "wanted power (dBm, 0 = kind default)")
+	target := fs.Int("target-errors", 0, "early-stop bit-error target (0 = run all packets)")
+	adjacent := fs.Bool("adjacent", false, "add the +16 dB adjacent channel (fig6, ip3)")
+	frontend := fs.String("frontend", "", "front end for the snr kind: ideal | behavioral")
+	from := fs.Float64("from", 0, "lowest swept value (0 with -to 0 = kind default range)")
+	to := fs.Float64("to", 0, "highest swept value")
+	points := fs.Int("points", 0, "sweep points (0 = kind default)")
+	return func() service.SweepSpec {
+		return service.SweepSpec{
+			Kind: *kind, RateMbps: *rate, PSDULen: *psdu, Packets: *packets,
+			Seed: *seed, PowerDBm: *power, TargetErrors: *target,
+			Adjacent: *adjacent, FrontEnd: *frontend,
+			From: *from, To: *to, Points: *points,
+		}
+	}
+}
+
+// cmdSubmit posts a sweep spec to a running wlansimd and (by default)
+// waits for the series, printing it in the selected format.
+func cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := serviceFlags(fs)
+	spec := specFlags(fs)
+	format := formatFlag(fs)
+	wait := fs.Bool("wait", true, "wait for the job and print the series")
+	stream := fs.Bool("stream", false, "stream points as NDJSON while the job runs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	body, err := json.Marshal(spec())
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(*addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var st service.JobStatus
+	if err := decodeResponse(resp, &st); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "job %s: %d points queued\n", st.ID, st.TotalPoints)
+
+	if *stream {
+		sresp, err := http.Get(*addr + "/v1/jobs/" + st.ID + "/stream")
+		if err != nil {
+			return err
+		}
+		defer sresp.Body.Close()
+		sc := bufio.NewScanner(sresp.Body)
+		for sc.Scan() {
+			fmt.Println(sc.Text())
+		}
+		return sc.Err()
+	}
+	if !*wait {
+		return nil
+	}
+	wresp, err := http.Get(*addr + "/v1/jobs/" + st.ID + "?wait=1")
+	if err != nil {
+		return err
+	}
+	if err := decodeResponse(wresp, &st); err != nil {
+		return err
+	}
+	if st.State == service.JobFailed {
+		return fmt.Errorf("job %s failed: %s", st.ID, st.Error)
+	}
+	fmt.Fprintf(os.Stderr, "job %s: %d/%d points from store\n", st.ID, st.StoreHits, st.TotalPoints)
+	fig := &measure.Figure{Series: []*measure.Series{st.Series}}
+	return emitFigure(fig, *format)
+}
+
+// cmdJobs lists the daemon's jobs (or one job with -id) plus service stats.
+func cmdJobs(args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	addr := serviceFlags(fs)
+	id := fs.String("id", "", "show one job (with its series) instead of the listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if *id != "" {
+		resp, err := http.Get(*addr + "/v1/jobs/" + *id)
+		if err != nil {
+			return err
+		}
+		var st service.JobStatus
+		if err := decodeResponse(resp, &st); err != nil {
+			return err
+		}
+		return enc.Encode(st)
+	}
+	resp, err := http.Get(*addr + "/v1/jobs")
+	if err != nil {
+		return err
+	}
+	var jobs []service.JobStatus
+	if err := decodeResponse(resp, &jobs); err != nil {
+		return err
+	}
+	if err := enc.Encode(jobs); err != nil {
+		return err
+	}
+	sresp, err := http.Get(*addr + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	var stats service.StatsSnapshot
+	if err := decodeResponse(sresp, &stats); err != nil {
+		return err
+	}
+	return enc.Encode(stats)
+}
+
+// decodeResponse decodes a 2xx JSON body into v, or surfaces the daemon's
+// error envelope (with the Retry-After hint on 429s).
+func decodeResponse(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 == 2 {
+		return json.NewDecoder(resp.Body).Decode(v)
+	}
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Error == "" {
+		return fmt.Errorf("daemon: HTTP %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		return fmt.Errorf("daemon: HTTP %d: %s (retry after %ss)", resp.StatusCode, eb.Error, ra)
+	}
+	return fmt.Errorf("daemon: HTTP %d: %s", resp.StatusCode, eb.Error)
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"wlansim/internal/core"
+	"wlansim/internal/measure"
+	"wlansim/internal/service"
+	"wlansim/internal/service/store"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan []byte)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- b
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput: %s", ferr, out)
+	}
+	return out
+}
+
+// TestCmdEVMFormatJSON pins the -format json contract: the document decodes
+// through measure's codecs into the exact series the sweep produced, CI
+// columns and stage-cache stats included.
+func TestCmdEVMFormatJSON(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdEVM([]string{"-packets", "1", "-len", "40", "-points", "2", "-format", "json"})
+	})
+	var fig measure.Figure
+	if err := json.Unmarshal(out, &fig); err != nil {
+		t.Fatalf("output is not a figure document: %v\n%s", err, out)
+	}
+	if len(fig.Series) != 1 || len(fig.Series[0].Points) != 2 {
+		t.Fatalf("decoded figure shape wrong: %+v", fig)
+	}
+	if !fig.Series[0].Cache.Enabled {
+		t.Error("json output lost the stage-cache stats")
+	}
+
+	if err := cmdEVM([]string{"-points", "2", "-format", "yaml"}); err == nil {
+		t.Error("accepted unknown format")
+	}
+}
+
+// TestSubmitAndJobsAgainstService runs the submit/jobs client handlers
+// against an in-process service instance and requires the series the client
+// prints to be bit-identical to the in-process sweep.
+func TestSubmitAndJobsAgainstService(t *testing.T) {
+	m := service.New(service.Config{Store: store.NewMemory(0), Workers: 1, JobWorkers: 1})
+	defer m.Drain()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+
+	args := []string{"-addr", srv.URL, "-kind", "evm", "-packets", "2", "-from", "10", "-to", "30", "-points", "3", "-format", "json"}
+	out := captureStdout(t, func() error { return cmdSubmit(args) })
+	var fig measure.Figure
+	if err := json.Unmarshal(out, &fig); err != nil {
+		t.Fatalf("submit output: %v\n%s", err, out)
+	}
+
+	base := core.DefaultConfig()
+	base.Packets = 2
+	base.Workers = 1
+	want, err := core.EVMvsSNR(base, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fig.Series[0]
+	if len(got.Points) != len(want.Points) {
+		t.Fatalf("%d points, want %d", len(got.Points), len(want.Points))
+	}
+	for i := range want.Points {
+		g, w := got.Points[i], want.Points[i]
+		if math.Float64bits(g.X) != math.Float64bits(w.X) || math.Float64bits(g.Y) != math.Float64bits(w.Y) {
+			t.Errorf("point %d: served %+v != in-process %+v", i, g, w)
+		}
+	}
+
+	// Streamed NDJSON mode: every line must be valid JSON, ending in a
+	// done status carrying the series.
+	stream := captureStdout(t, func() error {
+		return cmdSubmit([]string{"-addr", srv.URL, "-kind", "evm", "-packets", "2", "-from", "10", "-to", "30", "-points", "3", "-stream"})
+	})
+	lines := bytes.Split(bytes.TrimSpace(stream), []byte("\n"))
+	if len(lines) != 4 { // 3 points + 1 status
+		t.Fatalf("stream printed %d lines, want 4:\n%s", len(lines), stream)
+	}
+	var last struct {
+		Status *service.JobStatus `json:"status"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil || last.Status == nil || last.Status.State != service.JobDone {
+		t.Fatalf("stream tail is not a done status: %v %s", err, lines[len(lines)-1])
+	}
+	if last.Status.StoreHits != 3 {
+		t.Errorf("second identical submission had %d store hits, want 3", last.Status.StoreHits)
+	}
+
+	// jobs listing: both jobs visible plus the stats document.
+	listing := captureStdout(t, func() error { return cmdJobs([]string{"-addr", srv.URL}) })
+	dec := json.NewDecoder(bytes.NewReader(listing))
+	var jobs []service.JobStatus
+	if err := dec.Decode(&jobs); err != nil {
+		t.Fatalf("jobs listing: %v\n%s", err, listing)
+	}
+	if len(jobs) != 2 {
+		t.Errorf("listing shows %d jobs, want 2", len(jobs))
+	}
+	var stats service.StatsSnapshot
+	if err := dec.Decode(&stats); err != nil {
+		t.Fatalf("stats document: %v", err)
+	}
+	if stats.Store.Entries != 3 {
+		t.Errorf("store entries %d, want 3", stats.Store.Entries)
+	}
+
+	// Single-job fetch carries the series.
+	one := captureStdout(t, func() error { return cmdJobs([]string{"-addr", srv.URL, "-id", jobs[0].ID}) })
+	var st service.JobStatus
+	if err := json.Unmarshal(one, &st); err != nil || st.Series == nil {
+		t.Fatalf("single-job fetch: %v\n%s", err, one)
+	}
+}

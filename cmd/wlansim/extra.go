@@ -25,6 +25,7 @@ func cmdWaterfall(args []string) error {
 	hi := fs.Float64("to", 30, "highest SNR (dB)")
 	n := fs.Int("points", 8, "sweep points")
 	behavioral := fs.Bool("behavioral", false, "run the behavioral analog front end instead of the ideal one")
+	format := formatFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -38,9 +39,7 @@ func cmdWaterfall(args []string) error {
 		return err
 	}
 	fig.Title = fmt.Sprintf("BER vs SNR per 802.11a mode (%s front end)", feName)
-	fmt.Print(fig.String())
-	printCacheStats(fig.Series...)
-	return nil
+	return emitFigure(fig, *format)
 }
 
 // cmdSensitivity bisects for the receiver sensitivity at a rate.

@@ -141,6 +141,10 @@ func runCommand(cmd string, args []string) error {
 		err = cmdRegrowth(args)
 	case "report":
 		err = cmdReport(args)
+	case "submit":
+		err = cmdSubmit(args)
+	case "jobs":
+		err = cmdJobs(args)
 	case "version":
 		cmdVersion()
 	case "help", "-h", "--help":
@@ -155,7 +159,7 @@ func runCommand(cmd string, args []string) error {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: wlansim [-cpuprofile file] [-memprofile file] <command> [flags]
-commands: table1 spectrum ber fig5 fig6 ip3 evm table2 artifact cascade\n          waterfall sensitivity inputrange rfcheck mask graph evmbudget jk acr\n          capture decode regrowth report version`)
+commands: table1 spectrum ber fig5 fig6 ip3 evm table2 artifact cascade\n          waterfall sensitivity inputrange rfcheck mask graph evmbudget jk acr\n          capture decode regrowth report submit jobs version`)
 }
 
 // cmdVersion prints the toolchain, platform and kernel-dispatch identity, so
@@ -264,6 +268,7 @@ func cmdFig5(args []string) error {
 	hi := fs.Float64("to", 16e6, "highest passband edge (Hz)")
 	n := fs.Int("points", 6, "sweep points")
 	csvPath := fs.String("csv", "", "also write the figure as CSV to this file")
+	format := formatFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -280,8 +285,9 @@ func cmdFig5(args []string) error {
 	}
 	fig := &measure.Figure{Title: "Figure 5: BER vs filter bandwidth (with present adjacent channel)"}
 	fig.Series = append(fig.Series, series)
-	fmt.Print(fig.String())
-	printCacheStats(series)
+	if err := emitFigure(fig, *format); err != nil {
+		return err
+	}
 	return writeFigureCSV(fig, *csvPath)
 }
 
@@ -309,6 +315,7 @@ func cmdFig6(args []string) error {
 	hi := fs.Float64("to", -5, "highest compression point (dBm)")
 	n := fs.Int("points", 6, "sweep points")
 	csvPath := fs.String("csv", "", "also write the figure as CSV to this file")
+	format := formatFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -330,8 +337,9 @@ func cmdFig6(args []string) error {
 	}
 	fig := &measure.Figure{Title: "Figure 6: BER vs compression point of first LNA"}
 	fig.Series = append(fig.Series, with, without)
-	fmt.Print(fig.String())
-	printCacheStats(with, without)
+	if err := emitFigure(fig, *format); err != nil {
+		return err
+	}
 	return writeFigureCSV(fig, *csvPath)
 }
 
@@ -341,6 +349,7 @@ func cmdIP3(args []string) error {
 	lo := fs.Float64("from", -20, "lowest IIP3 (dBm)")
 	hi := fs.Float64("to", 5, "highest IIP3 (dBm)")
 	n := fs.Int("points", 6, "sweep points")
+	format := formatFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -357,9 +366,7 @@ func cmdIP3(args []string) error {
 	}
 	fig := &measure.Figure{Title: "BER vs LNA IIP3 (with adjacent channel, §5.1)"}
 	fig.Series = append(fig.Series, series)
-	fmt.Print(fig.String())
-	printCacheStats(series)
-	return nil
+	return emitFigure(fig, *format)
 }
 
 func cmdEVM(args []string) error {
@@ -368,6 +375,7 @@ func cmdEVM(args []string) error {
 	lo := fs.Float64("from", 10, "lowest SNR (dB)")
 	hi := fs.Float64("to", 35, "highest SNR (dB)")
 	n := fs.Int("points", 6, "sweep points")
+	format := formatFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -378,9 +386,7 @@ func cmdEVM(args []string) error {
 	}
 	fig := &measure.Figure{Title: "EVM vs SNR with ideal receiver (§5.2)"}
 	fig.Series = append(fig.Series, series)
-	fmt.Print(fig.String())
-	printCacheStats(series)
-	return nil
+	return emitFigure(fig, *format)
 }
 
 func cmdTable2(args []string) error {

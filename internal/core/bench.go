@@ -167,6 +167,12 @@ type Config struct {
 	// DisableStageCache makes the sweep harnesses run without a stage
 	// cache (every point recomputes its full pipeline).
 	DisableStageCache bool
+	// OnSweepPoint, if set, is invoked by the single-series sweep harnesses
+	// for each completed point, in Values order for each completed prefix
+	// (sim.Sweep.OnPointDone). The point carries the raw swept value as X,
+	// before any figure-axis rescaling the harness applies to the returned
+	// series. The sweep service streams completed prefixes through this.
+	OnSweepPoint func(measure.Point)
 }
 
 // DefaultConfig returns a baseline scenario: 24 Mbps, 100-byte packets,

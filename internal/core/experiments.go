@@ -84,11 +84,12 @@ func Figure5Config() Config {
 func FilterBandwidthSweep(base Config, edgesHz []float64) (*measure.Series, error) {
 	cache := newSweepCache(base)
 	sweep := &sim.Sweep{
-		Name:    "BER vs filter bandwidth",
-		XLabel:  "passband edge frequency (1.0e8 Hz)",
-		YLabel:  "bit error rate",
-		Values:  edgesHz,
-		Workers: base.Workers,
+		Name:        "BER vs filter bandwidth",
+		XLabel:      "passband edge frequency (1.0e8 Hz)",
+		YLabel:      "bit error rate",
+		Values:      edgesHz,
+		Workers:     base.Workers,
+		OnPointDone: base.OnSweepPoint,
 		RunPoint: func(edge float64) (measure.Point, error) {
 			cfg := base
 			cfg.Seed = seed.ForPoint(base.Seed, edge)
@@ -144,11 +145,12 @@ func CompressionPointSweep(base Config, compressionDBm []float64, withAdjacent b
 	}
 	cache := newSweepCache(base)
 	sweep := &sim.Sweep{
-		Name:    label,
-		XLabel:  "compression point of LNA1 (dBm)",
-		YLabel:  "bit error rate",
-		Values:  compressionDBm,
-		Workers: base.Workers,
+		Name:        label,
+		XLabel:      "compression point of LNA1 (dBm)",
+		YLabel:      "bit error rate",
+		Values:      compressionDBm,
+		Workers:     base.Workers,
+		OnPointDone: base.OnSweepPoint,
 		RunPoint: func(cp float64) (measure.Point, error) {
 			cfg := base
 			cfg.Seed = seed.ForPoint(base.Seed, cp)
@@ -188,11 +190,12 @@ func IP3Sweep(base Config, iip3DBm []float64, withAdjacent bool) (*measure.Serie
 	label := "BER vs LNA IIP3"
 	cache := newSweepCache(base)
 	sweep := &sim.Sweep{
-		Name:    label,
-		XLabel:  "IIP3 of LNA1 (dBm)",
-		YLabel:  "bit error rate",
-		Values:  iip3DBm,
-		Workers: base.Workers,
+		Name:        label,
+		XLabel:      "IIP3 of LNA1 (dBm)",
+		YLabel:      "bit error rate",
+		Values:      iip3DBm,
+		Workers:     base.Workers,
+		OnPointDone: base.OnSweepPoint,
 		RunPoint: func(ip3 float64) (measure.Point, error) {
 			cfg := base
 			cfg.Seed = seed.ForPoint(base.Seed, ip3)
@@ -278,11 +281,12 @@ func SpectrumExperiment(wantedDBm float64, withSecondAdjacent bool, seed int64) 
 func EVMvsSNR(base Config, snrsDB []float64) (*measure.Series, error) {
 	cache := newSweepCache(base)
 	sweep := &sim.Sweep{
-		Name:    "EVM vs SNR (ideal receiver)",
-		XLabel:  "channel SNR (dB)",
-		YLabel:  "EVM (%)",
-		Values:  snrsDB,
-		Workers: base.Workers,
+		Name:        "EVM vs SNR (ideal receiver)",
+		XLabel:      "channel SNR (dB)",
+		YLabel:      "EVM (%)",
+		Values:      snrsDB,
+		Workers:     base.Workers,
+		OnPointDone: base.OnSweepPoint,
 		Run: func(snr float64) (float64, error) {
 			cfg := base
 			cfg.Seed = seed.ForPoint(base.Seed, snr)
@@ -395,6 +399,9 @@ func TimingComparison(base Config, packetCounts []int) ([]TimingRow, error) {
 	}
 	// Explicitly requested parallel rows: reuse the sweep executor over the
 	// row indices so pooling and error order match the BER sweeps.
+	// OnSweepPoint stays unwired here: the values are row indices, not a
+	// swept physical parameter, so streaming them as measurement points
+	// would be misleading.
 	sweep := &sim.Sweep{
 		Name:    "timing rows",
 		Values:  sim.Linspace(0, float64(len(packetCounts)-1), len(packetCounts)),

@@ -60,7 +60,7 @@ var StageParams = map[Stage][]string{
 	StageChannel:  {"WantedPowerDBm", "CFOHz", "MultipathTaps", "MultipathRMSSamples", "DopplerHz", "SampleClockPPM", "Interferers"},
 	StageNoise:    {"ChannelSNRdB"},
 	StageFrontEnd: {"FrontEnd", "TuneRF", "TuneCoSim", "SweptFrontEndFilterOnly"},
-	StageRxDSP:    {"UseIdealRxTiming", "HardDecisions", "DisableCSI", "Packets", "TargetErrors", "Workers", "Batch", "Cache", "CacheBytes", "DisableStageCache", "SweptStage"},
+	StageRxDSP:    {"UseIdealRxTiming", "HardDecisions", "DisableCSI", "Packets", "TargetErrors", "Workers", "Batch", "Cache", "CacheBytes", "DisableStageCache", "SweptStage", "OnSweepPoint"},
 }
 
 // stageRoot returns the seed root a stage derives its randomness from:

@@ -59,11 +59,12 @@ func WaterfallBERvsSNROnFrontEnd(base Config, fe FrontEndKind, ratesMbps []int, 
 			return cfg
 		}
 		sweep := &sim.Sweep{
-			Name:    fmt.Sprintf("%d Mbps", r),
-			XLabel:  "channel SNR (dB)",
-			YLabel:  "bit error rate",
-			Values:  snrsDB,
-			Workers: base.Workers,
+			Name:        fmt.Sprintf("%d Mbps", r),
+			XLabel:      "channel SNR (dB)",
+			YLabel:      "bit error rate",
+			Values:      snrsDB,
+			Workers:     base.Workers,
+			OnPointDone: base.OnSweepPoint,
 			RunPoint: func(snr float64) (measure.Point, error) {
 				return runBERPoint(pointCfg(snr))
 			},

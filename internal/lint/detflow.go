@@ -16,10 +16,13 @@ import (
 //  1. map iteration feeding result series — Go randomizes map order, so a
 //     for-range over a map whose body calls measure.Series.Add/AddPoint or
 //     Figure.AddSeries produces a different curve layout every run;
-//  2. wall-clock reads (time.Now/time.Since) inside the simulation packages
-//     — a result that depends on the clock cannot reproduce; timing
-//     *measurements* are the one legitimate use and carry an ignore
-//     directive saying so;
+//  2. wall-clock reads (time.Now/time.Since) and ambient timers
+//     (time.Sleep/After/Tick/NewTimer/NewTicker/AfterFunc) inside the
+//     simulation and service packages — a result that depends on the clock
+//     cannot reproduce, and scheduling against the runtime clock makes the
+//     sweep service's job timing untestable; timing *measurements* are the
+//     one legitimate use and carry an ignore directive saying so, while
+//     daemons take an injected clock from their cmd/ composition root;
 //  3. goroutine closures writing variables captured from the enclosing
 //     scope — unsynchronized shared writes race, and even synchronized ones
 //     make results depend on goroutine scheduling; the sanctioned pattern
@@ -133,15 +136,35 @@ func checkMapRangeSeries(pass *Pass, rng *ast.RangeStmt) {
 // wallClockFuncs are the time-package entry points that read the clock.
 var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
 
-// checkWallClock flags clock reads inside the deterministic packages.
+// ambientTimerFuncs are the time-package entry points that schedule against
+// the ambient runtime clock. The sweep service's job scheduling lives in a
+// deterministic package (internal/service), where pacing must come through
+// an injected clock or channel the caller controls — an ambient timer makes
+// job timestamps and wake-ups untestable and couples scheduling to the
+// machine the daemon happens to run on. The composition roots under cmd/
+// construct the real clock and are exempt.
+var ambientTimerFuncs = map[string]bool{
+	"Sleep": true, "After": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// checkWallClock flags clock reads and ambient timers inside the
+// deterministic packages.
 func checkWallClock(pass *Pass, call *ast.CallExpr) {
 	fn := pkgFunc(pass, call.Fun)
-	if fn == nil || fn.Pkg().Path() != "time" || !wallClockFuncs[fn.Name()] {
+	if fn == nil || fn.Pkg().Path() != "time" {
 		return
 	}
-	pass.Reportf(call.Pos(),
-		"results must be a pure function of config and seed; if elapsed time is itself the measurement, justify with //lint:ignore detflow <reason>",
-		"wall-clock read time.%s in deterministic package %s", fn.Name(), pass.Pkg.Path)
+	switch {
+	case wallClockFuncs[fn.Name()]:
+		pass.Reportf(call.Pos(),
+			"results must be a pure function of config and seed; if elapsed time is itself the measurement, justify with //lint:ignore detflow <reason>",
+			"wall-clock read time.%s in deterministic package %s", fn.Name(), pass.Pkg.Path)
+	case ambientTimerFuncs[fn.Name()]:
+		pass.Reportf(call.Pos(),
+			"inject a clock (or a caller-owned channel) from the cmd/ composition root instead of scheduling against the ambient runtime clock",
+			"ambient timer time.%s in deterministic package %s", fn.Name(), pass.Pkg.Path)
+	}
 }
 
 // checkGoroutineCapture flags goroutine closures that assign to variables

@@ -46,6 +46,50 @@ func work() {}
 	})
 }
 
+// TestDetFlowAmbientTimer pins the sweep-service scheduling rule: pacing in
+// a deterministic package must come through an injected clock, never the
+// ambient runtime timers.
+func TestDetFlowAmbientTimer(t *testing.T) {
+	src := `package service
+
+import "time"
+
+func schedule(jobs chan struct{}) {
+	time.Sleep(time.Millisecond)
+	select {
+	case <-jobs:
+	case <-time.After(time.Second):
+	}
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+}
+`
+	t.Run("flagged in deterministic package", func(t *testing.T) {
+		diags := analyzeFixture(t, "example.com/m/internal/service", src, DetFlow)
+		checkFindings(t, diags, []finding{
+			{6, "ambient timer time.Sleep"},
+			{9, "ambient timer time.After"},
+			{11, "ambient timer time.NewTicker"},
+		})
+	})
+	t.Run("composition roots are exempt", func(t *testing.T) {
+		diags := analyzeFixture(t, "example.com/m/cmd/wlansimd", src, DetFlow)
+		checkFindings(t, diags, nil)
+	})
+	t.Run("injected clock passes", func(t *testing.T) {
+		injected := `package service
+
+import "time"
+
+type Clock func() time.Duration
+
+func stamp(clock Clock) time.Duration { return clock() }
+`
+		diags := analyzeFixture(t, "example.com/m/internal/service", injected, DetFlow)
+		checkFindings(t, diags, nil)
+	})
+}
+
 func TestDetFlowGoroutineCapture(t *testing.T) {
 	cases := []struct {
 		name string

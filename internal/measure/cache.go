@@ -16,18 +16,18 @@ import "fmt"
 type CacheStats struct {
 	// Enabled reports whether a stage cache was attached to the run at all;
 	// the zero value means the sweep ran uncached.
-	Enabled bool
+	Enabled bool `json:"enabled"`
 	// Hits and Misses count lookups that reused respectively computed an
 	// entry. A lookup that waits for another worker's in-flight computation
 	// of the same key counts as a hit.
-	Hits   int64
-	Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// BytesInUse is the resident entry payload at the end of the run;
 	// PeakBytes is the high-water mark.
-	BytesInUse int64
-	PeakBytes  int64
+	BytesInUse int64 `json:"bytes_in_use"`
+	PeakBytes  int64 `json:"peak_bytes"`
 	// Evictions counts entries dropped to keep BytesInUse under the budget.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 }
 
 // Lookups returns the total number of cache queries.

@@ -1,0 +1,109 @@
+package measure
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestSeriesJSONRoundTripExact pins the wire-format contract the sweep
+// service relies on: a series decoded from its JSON encoding is
+// Float64bits-identical to the original, including denormals, shortest-form
+// extremes and negative zero. This is what makes a daemon-served series
+// byte-comparable to an in-process run.
+func TestSeriesJSONRoundTripExact(t *testing.T) {
+	s := &Series{
+		Label:  "BER vs filter bandwidth",
+		XLabel: "passband edge frequency (1.0e8 Hz)",
+		YLabel: "bit error rate",
+		Points: []Point{
+			{X: 0.06, Y: 0.4921875, CILo: 0.45, CIHi: 0.53, Bits: 4096, Errors: 2016},
+			{X: math.Pi, Y: 5e-324, CILo: math.Copysign(0, -1), CIHi: 2.2250738585072014e-308},
+			{X: 1e17, Y: 0, Bits: 1},
+			{X: math.MaxFloat64, Y: 0.3333333333333333, Errors: 7},
+		},
+		Cache: CacheStats{Enabled: true, Hits: 41, Misses: 7, BytesInUse: 1 << 20, PeakBytes: 2 << 20, Evictions: 3},
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Series
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != s.Label || got.XLabel != s.XLabel || got.YLabel != s.YLabel {
+		t.Errorf("labels changed: %+v", got)
+	}
+	if got.Cache != s.Cache {
+		t.Errorf("cache stats changed: %+v != %+v", got.Cache, s.Cache)
+	}
+	if len(got.Points) != len(s.Points) {
+		t.Fatalf("point count %d != %d", len(got.Points), len(s.Points))
+	}
+	for i, want := range s.Points {
+		have := got.Points[i]
+		for _, c := range []struct {
+			name       string
+			want, have float64
+		}{
+			{"X", want.X, have.X}, {"Y", want.Y, have.Y},
+			{"CILo", want.CILo, have.CILo}, {"CIHi", want.CIHi, have.CIHi},
+		} {
+			if math.Float64bits(c.want) != math.Float64bits(c.have) {
+				t.Errorf("point %d %s: %x != %x (%v != %v)", i, c.name,
+					math.Float64bits(c.have), math.Float64bits(c.want), c.have, c.want)
+			}
+		}
+		if want.Bits != have.Bits || want.Errors != have.Errors {
+			t.Errorf("point %d counts changed: %+v != %+v", i, have, want)
+		}
+	}
+}
+
+// TestSeriesJSONCacheOmittedWhenDisabled keeps uncached series free of a
+// noise "cache" object, and a decode of such a document yields the zero
+// CacheStats.
+func TestSeriesJSONCacheOmittedWhenDisabled(t *testing.T) {
+	s := &Series{Label: "plain", Points: []Point{{X: 1, Y: 2}}}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"cache"`) {
+		t.Errorf("disabled cache encoded: %s", b)
+	}
+	var got Series
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Cache != (CacheStats{}) {
+		t.Errorf("decoded cache not zero: %+v", got.Cache)
+	}
+}
+
+// TestFigureJSONRoundTrip covers the multi-series (waterfall) shape.
+func TestFigureJSONRoundTrip(t *testing.T) {
+	f := &Figure{Title: "BER vs SNR per mode"}
+	a := f.AddSeries("6 Mbps", "channel SNR (dB)", "bit error rate")
+	a.Add(2, 0.25)
+	a.Add(4, 0.125)
+	b := f.AddSeries("54 Mbps", "channel SNR (dB)", "bit error rate")
+	b.Add(2, 0.5)
+	raw, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Figure
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != f.Title || len(got.Series) != 2 {
+		t.Fatalf("decoded figure %+v", got)
+	}
+	if got.Series[0].Label != "6 Mbps" || len(got.Series[0].Points) != 2 ||
+		got.Series[1].Label != "54 Mbps" || len(got.Series[1].Points) != 1 {
+		t.Errorf("series content changed: %+v %+v", got.Series[0], got.Series[1])
+	}
+}

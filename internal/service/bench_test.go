@@ -1,0 +1,108 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wlansim/internal/service/store"
+)
+
+// benchSpec is the service-throughput scenario: one evm sweep job of 5
+// points. Cold runs recompute every point; warm runs serve all 5 from the
+// content-addressed store. The BENCH_9.json acceptance ratio (warm >= 10x
+// faster than cold, medians) comes from these two benchmarks.
+func benchSpec(seed int64) SweepSpec {
+	return SweepSpec{Kind: "evm", Packets: 2, Seed: seed, Values: []float64{10, 15, 20, 25, 30}}
+}
+
+func runJob(b *testing.B, m *Manager, spec SweepSpec) {
+	b.Helper()
+	j, err := m.Submit(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		_, state, updated := j.PointsSince(0)
+		if state == JobFailed {
+			b.Fatalf("job failed: %+v", j.Snapshot().Error)
+		}
+		if state.Done() {
+			return
+		}
+		<-updated
+	}
+}
+
+// BenchmarkServiceJobCold measures end-to-end job latency when no point is
+// in the store: every iteration uses a fresh seed, so all 5 points compute.
+func BenchmarkServiceJobCold(b *testing.B) {
+	m := New(Config{Store: store.NewMemory(0), Workers: 1, QueueDepth: 4, JobWorkers: 1})
+	defer m.Drain()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runJob(b, m, benchSpec(int64(i)+1000))
+	}
+	b.ReportMetric(float64(b.N)*float64(len(benchSpec(0).Values)), "points")
+}
+
+// BenchmarkServiceJobWarm measures the same job once its points are
+// resident: one priming run outside the timer, then every iteration is
+// served entirely from the store.
+func BenchmarkServiceJobWarm(b *testing.B) {
+	m := New(Config{Store: store.NewMemory(0), Workers: 1, QueueDepth: 4, JobWorkers: 1})
+	defer m.Drain()
+	spec := benchSpec(1)
+	runJob(b, m, spec) // prime the store
+	if hits := m.cfg.Store.Stats().Hits; hits != 0 {
+		b.Fatalf("priming run had %d store hits", hits)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runJob(b, m, spec)
+	}
+	b.StopTimer()
+	// Every timed job must have been fully store-served.
+	want := int64(b.N * len(spec.Values))
+	if hits := m.cfg.Store.Stats().Hits; hits < want {
+		b.Fatalf("store hits %d, want >= %d: warm benchmark recomputed points", hits, want)
+	}
+}
+
+// BenchmarkServiceThroughput measures cold jobs/sec as the job-worker pool
+// widens: up to 48 distinct-seed jobs in flight at once against one
+// manager. ns/op is per completed job; invert for jobs/sec (the
+// EXPERIMENTS.md throughput-scaling table).
+func BenchmarkServiceThroughput(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			m := New(Config{Store: store.NewMemory(0), Workers: w, QueueDepth: 64, JobWorkers: 1})
+			defer m.Drain()
+			b.ResetTimer()
+			inflight := make(chan struct{}, 48)
+			var wg sync.WaitGroup
+			for i := 0; i < b.N; i++ {
+				inflight <- struct{}{}
+				j, err := m.Submit(benchSpec(int64(i) + 1000))
+				if err != nil {
+					b.Fatal(err)
+				}
+				wg.Add(1)
+				go func(j *Job) {
+					defer wg.Done()
+					defer func() { <-inflight }()
+					for {
+						_, state, updated := j.PointsSince(0)
+						if state.Done() {
+							return
+						}
+						<-updated
+					}
+				}(j)
+			}
+			wg.Wait()
+		})
+	}
+}

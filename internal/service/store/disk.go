@@ -1,0 +1,214 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"wlansim/internal/measure"
+)
+
+// Disk is an append-only on-disk segment store with an in-memory offset
+// index. The layout is one segment file:
+//
+//	header:  8 bytes, the magic "WLSDSEG1"
+//	records: key (8, LE) | payload length (4, LE) | CRC32-IEEE of the
+//	         payload (4, LE) | payload (encodePoint, 48 bytes)
+//
+// Appends go through the OS write path immediately; fsync is batched —
+// every SyncEvery appends, plus on Flush and Close — so a burst of point
+// writes costs one disk sync, not one per point. A crash can therefore lose
+// the tail that was not yet synced, but can never corrupt the store: Open
+// scans the segment, verifying lengths and checksums, and truncates at the
+// first short or corrupt record, recovering every record before it. Records
+// are immutable once written (the content key guarantees any rewrite would
+// carry identical bytes), so recovery never has to reconcile versions.
+type Disk struct {
+	mu    sync.Mutex
+	f     *os.File
+	size  int64            // current segment length (append offset)
+	index map[uint64]int64 // key -> offset of the record's payload
+
+	syncEvery int
+	dirty     int // appends since the last fsync
+
+	hits, misses, puts int64
+}
+
+// diskMagic versions the segment layout; a magic change invalidates old
+// segments instead of misreading them.
+const diskMagic = "WLSDSEG1"
+
+// recordHeaderSize is key + payload length + payload CRC.
+const recordHeaderSize = 8 + 4 + 4
+
+// DefaultSyncEvery batches this many appends per fsync.
+const DefaultSyncEvery = 64
+
+// SegmentFile is the segment's file name inside the store directory.
+const SegmentFile = "points.wlsd"
+
+// OpenDisk opens (creating if needed) the segment store in dir. syncEvery
+// batches that many appends per fsync (<= 0 selects DefaultSyncEvery; 1
+// syncs every append). A partially written tail — the signature of a crash
+// mid-append — is truncated away; everything before it is recovered.
+func OpenDisk(dir string, syncEvery int) (*Disk, error) {
+	if syncEvery <= 0 {
+		syncEvery = DefaultSyncEvery
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, SegmentFile)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	d := &Disk{f: f, index: make(map[uint64]int64), syncEvery: syncEvery}
+	if err := d.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// recover scans the segment, builds the key index and truncates any
+// corrupt or incomplete tail.
+func (d *Disk) recover() error {
+	end, err := d.f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if end == 0 {
+		// Fresh segment: stamp the header.
+		if _, err := d.f.WriteAt([]byte(diskMagic), 0); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		d.size = int64(len(diskMagic))
+		return nil
+	}
+	var magic [len(diskMagic)]byte
+	if _, err := io.ReadFull(io.NewSectionReader(d.f, 0, int64(len(magic))), magic[:]); err != nil || string(magic[:]) != diskMagic {
+		return fmt.Errorf("store: %s is not a wlansimd segment (bad magic)", d.f.Name())
+	}
+	off := int64(len(diskMagic))
+	var hdr [recordHeaderSize]byte
+	payload := make([]byte, pointSize)
+	for {
+		if _, err := io.ReadFull(io.NewSectionReader(d.f, off, recordHeaderSize), hdr[:]); err != nil {
+			break // short header: crash tail
+		}
+		key := binary.LittleEndian.Uint64(hdr[0:])
+		plen := binary.LittleEndian.Uint32(hdr[8:])
+		sum := binary.LittleEndian.Uint32(hdr[12:])
+		if plen != pointSize {
+			break // garbage length: treat as corrupt tail
+		}
+		if _, err := io.ReadFull(io.NewSectionReader(d.f, off+recordHeaderSize, int64(plen)), payload[:plen]); err != nil {
+			break // short payload: crash tail
+		}
+		if crc32.ChecksumIEEE(payload[:plen]) != sum {
+			break // torn write
+		}
+		d.index[key] = off + recordHeaderSize
+		off += recordHeaderSize + int64(plen)
+	}
+	if off < end {
+		if err := d.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncating corrupt tail: %w", err)
+		}
+	}
+	d.size = off
+	return nil
+}
+
+// Get reads the point at the indexed offset. The payload was CRC-verified
+// at recovery (or written by this process), so the read is a plain ReadAt.
+func (d *Disk) Get(key uint64) (measure.Point, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	off, ok := d.index[key]
+	if !ok {
+		d.misses++
+		return measure.Point{}, false
+	}
+	var buf [pointSize]byte
+	if _, err := d.f.ReadAt(buf[:], off); err != nil {
+		d.misses++
+		return measure.Point{}, false
+	}
+	d.hits++
+	return decodePoint(buf[:]), true
+}
+
+// Put appends a record and indexes it. The write becomes durable at the
+// next batched fsync (Flush forces one).
+func (d *Disk) Put(key uint64, p measure.Point) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.index[key]; ok {
+		// Same key means bit-identical payload by construction; skip the
+		// duplicate append.
+		d.puts++
+		return nil
+	}
+	payload := encodePoint(p)
+	var rec [recordHeaderSize + pointSize]byte
+	binary.LittleEndian.PutUint64(rec[0:], key)
+	binary.LittleEndian.PutUint32(rec[8:], pointSize)
+	binary.LittleEndian.PutUint32(rec[12:], crc32.ChecksumIEEE(payload[:]))
+	copy(rec[recordHeaderSize:], payload[:])
+	if _, err := d.f.WriteAt(rec[:], d.size); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	d.index[key] = d.size + recordHeaderSize
+	d.size += int64(len(rec))
+	d.puts++
+	d.dirty++
+	if d.dirty >= d.syncEvery {
+		return d.syncLocked()
+	}
+	return nil
+}
+
+// Flush fsyncs pending appends.
+func (d *Disk) Flush() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncLocked()
+}
+
+func (d *Disk) syncLocked() error {
+	if d.dirty == 0 {
+		return nil
+	}
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	d.dirty = 0
+	return nil
+}
+
+// Close flushes and closes the segment.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	serr := d.syncLocked()
+	cerr := d.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Stats returns the traffic and occupancy counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := int64(len(d.index))
+	return Stats{Hits: d.hits, Misses: d.misses, Puts: d.puts, Entries: n, Bytes: n * pointSize}
+}

@@ -1,0 +1,241 @@
+// Package store persists finished sweep points across jobs and process
+// lifetimes, keyed by content. A key is a SplitMix64 fold (seed.ContentKey)
+// of everything a point's value depends on — canonical spec, point value
+// bits, seed root, code version, kernel dispatch tier — so a lookup can
+// only ever return the bit-identical point a fresh computation would have
+// produced. The store is therefore a pure accelerator: serving a sweep from
+// it is indistinguishable (Float64bits) from recomputing the sweep, and a
+// partially overlapping sweep recomputes only its novel points.
+//
+// Two backends implement the Store interface: Memory, a byte-budgeted LRU
+// for a daemon without persistence, and Disk, an append-only on-disk
+// segment with an in-memory index, batched fsync and crash-safe recovery.
+// Tiered stacks a Memory front in front of a Disk back so warm lookups stay
+// off the disk path.
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"wlansim/internal/measure"
+)
+
+// Store is a content-addressed map from point keys to finished measurement
+// points. Implementations are safe for concurrent use. Get returns the
+// stored point and whether the key was present; Put is idempotent — the
+// key construction guarantees any two writers of one key hold bit-identical
+// points, so last-write-wins is harmless. Flush makes previous Puts durable
+// (a no-op for memory-only stores); Close flushes and releases resources.
+type Store interface {
+	Get(key uint64) (measure.Point, bool)
+	Put(key uint64, p measure.Point) error
+	Flush() error
+	Close() error
+	Stats() Stats
+}
+
+// Stats reports a store's traffic and occupancy counters.
+type Stats struct {
+	// Hits and Misses count Get outcomes; Puts counts stored points.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Puts   int64 `json:"puts"`
+	// Entries and Bytes describe current occupancy (Bytes is the encoded
+	// payload size, excluding per-entry bookkeeping).
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Evictions counts entries dropped by a bounded tier to stay under its
+	// byte budget (always zero for the disk tier, which only appends).
+	Evictions int64 `json:"evictions"`
+}
+
+// HitRate returns the fraction of lookups served from the store.
+func (s Stats) HitRate() float64 {
+	if n := s.Hits + s.Misses; n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// pointSize is the encoded size of one measure.Point: four float64 columns
+// and two int64 counters.
+const pointSize = 48
+
+// encodePoint serializes a point into a fixed 48-byte little-endian record
+// payload. Floats travel as IEEE-754 bit patterns, so the codec is exact
+// for every value including negative zero.
+func encodePoint(p measure.Point) [pointSize]byte {
+	var b [pointSize]byte
+	binary.LittleEndian.PutUint64(b[0:], math.Float64bits(p.X))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(p.Y))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(p.CILo))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(p.CIHi))
+	binary.LittleEndian.PutUint64(b[32:], uint64(int64(p.Bits)))
+	binary.LittleEndian.PutUint64(b[40:], uint64(int64(p.Errors)))
+	return b
+}
+
+// decodePoint is the inverse of encodePoint.
+func decodePoint(b []byte) measure.Point {
+	return measure.Point{
+		X:      math.Float64frombits(binary.LittleEndian.Uint64(b[0:])),
+		Y:      math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		CILo:   math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		CIHi:   math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+		Bits:   int(int64(binary.LittleEndian.Uint64(b[32:]))),
+		Errors: int(int64(binary.LittleEndian.Uint64(b[40:]))),
+	}
+}
+
+// DefaultMemoryBytes bounds a Memory store when the caller does not set a
+// budget: roomy for millions of 48-byte points yet bounded, so a daemon
+// fed distinct specs forever cannot grow without limit.
+const DefaultMemoryBytes = 64 << 20
+
+// Memory is a byte-budgeted in-memory LRU store.
+type Memory struct {
+	mu      sync.Mutex
+	budget  int64
+	entries map[uint64]*list.Element
+	lru     *list.List // front = most recently used; values are *memEntry
+
+	hits, misses, puts, evictions int64
+}
+
+type memEntry struct {
+	key   uint64
+	point measure.Point
+}
+
+// memEntryBytes is the budget charge per resident entry: the encoded
+// payload plus the map/list bookkeeping around it.
+const memEntryBytes = pointSize + 64
+
+// NewMemory returns an LRU store bounded by budgetBytes (<= 0 selects
+// DefaultMemoryBytes).
+func NewMemory(budgetBytes int64) *Memory {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultMemoryBytes
+	}
+	return &Memory{
+		budget:  budgetBytes,
+		entries: make(map[uint64]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the stored point and marks it most recently used.
+func (m *Memory) Get(key uint64) (measure.Point, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elem, ok := m.entries[key]
+	if !ok {
+		m.misses++
+		return measure.Point{}, false
+	}
+	m.hits++
+	m.lru.MoveToFront(elem)
+	return elem.Value.(*memEntry).point, true
+}
+
+// Put stores the point, evicting least-recently-used entries as needed to
+// stay under the byte budget.
+func (m *Memory) Put(key uint64, p measure.Point) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.puts++
+	if elem, ok := m.entries[key]; ok {
+		elem.Value.(*memEntry).point = p
+		m.lru.MoveToFront(elem)
+		return nil
+	}
+	m.entries[key] = m.lru.PushFront(&memEntry{key: key, point: p})
+	for int64(m.lru.Len())*memEntryBytes > m.budget && m.lru.Len() > 1 {
+		oldest := m.lru.Back()
+		m.lru.Remove(oldest)
+		delete(m.entries, oldest.Value.(*memEntry).key)
+		m.evictions++
+	}
+	return nil
+}
+
+// Flush is a no-op: a memory store has no durability layer.
+func (m *Memory) Flush() error { return nil }
+
+// Close is a no-op.
+func (m *Memory) Close() error { return nil }
+
+// Stats returns the traffic and occupancy counters.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := int64(m.lru.Len())
+	return Stats{
+		Hits: m.hits, Misses: m.misses, Puts: m.puts,
+		Entries: n, Bytes: n * pointSize, Evictions: m.evictions,
+	}
+}
+
+// Tiered stacks a Memory front in front of a durable back store: lookups
+// try the front first and promote back-store hits into it; writes go to
+// both. The front bounds its own size by LRU, the back keeps everything.
+type Tiered struct {
+	front *Memory
+	back  Store
+}
+
+// NewTiered wires front in front of back.
+func NewTiered(front *Memory, back Store) *Tiered {
+	return &Tiered{front: front, back: back}
+}
+
+// Get tries the memory front, then the back store (promoting a hit).
+func (t *Tiered) Get(key uint64) (measure.Point, bool) {
+	if p, ok := t.front.Get(key); ok {
+		return p, true
+	}
+	p, ok := t.back.Get(key)
+	if ok {
+		_ = t.front.Put(key, p) // Memory.Put cannot fail
+	}
+	return p, ok
+}
+
+// Put writes through to both tiers.
+func (t *Tiered) Put(key uint64, p measure.Point) error {
+	if err := t.back.Put(key, p); err != nil {
+		return err
+	}
+	return t.front.Put(key, p)
+}
+
+// Flush flushes the durable back store.
+func (t *Tiered) Flush() error { return t.back.Flush() }
+
+// Close closes both tiers.
+func (t *Tiered) Close() error {
+	ferr := t.front.Close()
+	if berr := t.back.Close(); berr != nil {
+		return berr
+	}
+	return ferr
+}
+
+// Stats reports the back store's occupancy with the combined tier traffic:
+// Hits counts lookups served by either tier (a front miss that the back
+// serves is one hit, not a miss and a hit), Misses lookups neither could
+// serve.
+func (t *Tiered) Stats() Stats {
+	f, b := t.front.Stats(), t.back.Stats()
+	return Stats{
+		Hits:      f.Hits + b.Hits,
+		Misses:    b.Misses,
+		Puts:      b.Puts,
+		Entries:   b.Entries,
+		Bytes:     b.Bytes,
+		Evictions: f.Evictions,
+	}
+}

@@ -50,6 +50,12 @@ type Sweep struct {
 	// Under parallel execution it is still invoked in Values order, for
 	// each completed prefix of the sweep.
 	OnPoint func(value, metric float64)
+	// OnPointDone, if set, is called after each point with the fully
+	// annotated measurement (confidence interval, sample counts), under the
+	// same ordering contract as OnPoint: in Values order, for each completed
+	// prefix, from the collector goroutine only. The sweep service streams
+	// completed prefixes to clients through this hook.
+	OnPointDone func(p measure.Point)
 	// Workers is the number of points evaluated concurrently. Zero or
 	// negative means runtime.GOMAXPROCS(0); 1 runs serially. The resulting
 	// series does not depend on Workers.
@@ -217,6 +223,9 @@ func (s *Sweep) Execute() (*measure.Series, error) {
 			series.AddPoint(p)
 			if s.OnPoint != nil {
 				s.OnPoint(p.X, p.Y)
+			}
+			if s.OnPointDone != nil {
+				s.OnPointDone(p)
 			}
 		}
 	}

@@ -166,6 +166,78 @@ func TestSweepExecutorBuffersPooled(t *testing.T) {
 	}
 }
 
+// TestSweepOnPointDoneFullPrefixOrder pins the OnPointDone contract the sweep
+// service streams through: the hook sees the fully annotated points (CI
+// bounds, sample counts), in Values order, for each completed prefix, and
+// exactly the points the returned series carries.
+func TestSweepOnPointDoneFullPrefixOrder(t *testing.T) {
+	values := Linspace(0, 11, 12)
+	var streamed []measure.Point
+	s := &Sweep{
+		Name:    "stream",
+		Values:  values,
+		Workers: 6,
+		RunPoint: func(v float64) (measure.Point, error) {
+			return measure.Point{Y: 3 * v, CILo: 3*v - 0.5, CIHi: 3*v + 0.5, Bits: int(v) * 100, Errors: int(v)}, nil
+		},
+		// The hook runs on the collector goroutine only; appending without a
+		// lock is safe, and the order must be the serial order.
+		OnPointDone: func(p measure.Point) { streamed = append(streamed, p) },
+	}
+	series, err := s.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(streamed, series.Points) {
+		t.Errorf("OnPointDone stream differs from series:\n%+v\nvs\n%+v", streamed, series.Points)
+	}
+}
+
+// TestSweepScratchPooledAcrossConcurrentExecutes is the daemon-shaped allocs
+// gate: several goroutines running independent sweeps back to back (the
+// sweep service's concurrent jobs) share sweepScratchPool instead of each
+// growing private executor buffers. After a warm-up round has stocked the
+// pool with one scratch per lane, a full concurrent round stays within the
+// same small per-Execute budget as the single-job gate above.
+func TestSweepScratchPooledAcrossConcurrentExecutes(t *testing.T) {
+	const jobs = 4
+	build := func() *Sweep {
+		return &Sweep{
+			Name:    "job",
+			Values:  Linspace(0, 31, 32),
+			Workers: 2,
+			RunPoint: func(v float64) (measure.Point, error) {
+				return measure.Point{Y: v + 1}, nil
+			},
+		}
+	}
+	round := func() {
+		done := make(chan error, jobs)
+		for j := 0; j < jobs; j++ {
+			go func() {
+				_, err := build().Execute()
+				done <- err
+			}()
+		}
+		for j := 0; j < jobs; j++ {
+			if err := <-done; err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	round() // warm the pool with one scratch per concurrent lane
+	n := testing.AllocsPerRun(20, round)
+	// Budget: per job, the series + its points backing array + the sweep
+	// struct + closures + goroutine/channel plumbing — but no scratch
+	// buffers. A pool miss after a GC costs 4 allocations; the slack
+	// absorbs an occasional one without letting per-job scratch growth
+	// (4 allocs * jobs every run) back in.
+	const budget = 24 * jobs
+	if n > budget {
+		t.Errorf("concurrent Executes allocate %.1f objects/round, budget %d", n, budget)
+	}
+}
+
 // TestSweepScratchPoolReleasesErrors checks the pool retains no caller error
 // references: a failing sweep must not leave its errors reachable from the
 // pooled scratch handed to the next Execute.

@@ -4,8 +4,9 @@
 # Usage: scripts/bench.sh [output.json]
 #
 # Runs the named hot-path benchmark scenarios (behavioral BER packets at
-# 6/24/54 Mbit/s, the parallel sweep executor, and the Viterbi / FIR / FFT /
-# OFDM microbenches) with -benchmem, repeating every scenario BENCH_RUNS
+# 6/24/54 Mbit/s, the parallel sweep executor, the sweep-service job path
+# cold vs warm, and the Viterbi / FIR / FFT / OFDM microbenches) with
+# -benchmem, repeating every scenario BENCH_RUNS
 # times, and writes one machine-readable JSON document — BENCH_<issue>.json —
 # holding the per-scenario MEDIAN ns/op, B/op and allocs/op. The median over
 # >= 5 samples is robust to one co-tenant load spike in either direction,
@@ -19,7 +20,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_8.json}"
+out="${1:-BENCH_9.json}"
 benchtime="${BENCH_COUNT:-50x}"
 runs="${BENCH_RUNS:-5}"
 if [ "$runs" -lt 5 ]; then
@@ -47,6 +48,7 @@ run_bench ./internal/core         'BenchmarkPacketBehavioral|BenchmarkSweepExecu
 run_bench ./internal/phy/viterbi  'BenchmarkDecodeSoft'
 run_bench ./internal/dsp          'BenchmarkFIRProcess|BenchmarkComplexFIRProcess|BenchmarkFFT|BenchmarkDFT'
 run_bench ./internal/phy          'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol'
+run_bench ./internal/service      'BenchmarkServiceJob'
 
 awk -v out_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v dispatch="$dispatch" -v lane_width="$lane_width" '
 function median(arr, n,    i, j, tmp) {
@@ -94,19 +96,36 @@ END {
     printf "  \"date\": \"%s\"\n}\n", out_date
 }
 BEGIN {
-    printf "{\n  \"issue\": 8,\n"
-    # Pre-PR baseline for the acceptance scenario: BenchmarkSweepBatched
-    # measured at commit 50ab4db (the SoA batch layer without the assembly
-    # tier) in a git worktree, interleaved round-by-round with the
-    # post-change runs on the same machine so slow drift in machine load
-    # cancels out of the ratio.
-    printf "  \"baseline\": {\n"
-    printf "    \"commit\": \"50ab4db\",\n"
-    printf "    \"protocol\": \"median of 5 interleaved worktree rounds, median of 3 samples per round\",\n"
-    printf "    \"BenchmarkSweepBatched\": {\"ns_per_op\": 7929661}\n"
+    printf "{\n  \"issue\": 9,\n"
+    # PR 9 acceptance scenario: a repeated identical sweep served by the
+    # wlansimd result store must be >= 10x faster than computing it cold.
+    # Both sides are medians from this same run (cold and warm are the two
+    # BenchmarkServiceJob scenarios, same machine, same process), so machine
+    # load cancels out of the ratio; the ratio check below enforces it.
+    printf "  \"acceptance\": {\n"
+    printf "    \"scenario\": \"repeated identical 5-point evm sweep, warm store vs cold\",\n"
+    printf "    \"metric\": \"median BenchmarkServiceJobCold ns_per_op / median BenchmarkServiceJobWarm ns_per_op\",\n"
+    printf "    \"required_ratio\": 10\n"
     printf "  },\n"
     printf "  \"benchmarks\": [\n"
 }
 ' "$raw" > "$out"
+
+# Warm-vs-cold acceptance ratio, computed from the medians just recorded.
+ratio_ok="$(awk '
+    /"name": "BenchmarkServiceJobCold"/ { if (match($0, /"ns_per_op": [0-9]+/)) cold = substr($0, RSTART + 13, RLENGTH - 13) + 0 }
+    /"name": "BenchmarkServiceJobWarm"/ { if (match($0, /"ns_per_op": [0-9]+/)) warm = substr($0, RSTART + 13, RLENGTH - 13) + 0 }
+    END {
+        if (cold == 0 || warm == 0) { print "missing"; exit }
+        printf "%.1f", cold / warm
+    }' "$out")"
+echo "service warm-vs-cold ratio: ${ratio_ok}x (required >= 10x)" >&2
+case "$ratio_ok" in
+    missing) echo "FAIL: service benchmarks missing from $out" >&2; exit 1 ;;
+esac
+if awk "BEGIN {exit !($ratio_ok < 10)}"; then
+    echo "FAIL: warm store speedup ${ratio_ok}x is below the 10x acceptance ratio" >&2
+    exit 1
+fi
 
 echo "wrote $out" >&2

@@ -107,6 +107,65 @@ for pkg in ./internal/kernels ./internal/dsp ./internal/randutil ./internal/rf \
     go test -run "$batch_pat" -count=1 "$pkg" > /dev/null
 done
 
+# Sweep service. The daemon's whole value rests on two properties: a served
+# series is byte-identical to the in-process run, and the content-addressed
+# store survives crashes. Both are pinned by tests; the `go test -list`
+# guards make a silent skip impossible — if a rename or build tag ever drops
+# the suites from the compiled set, the gate fails loudly instead of passing
+# on an empty run. The suites already ran under -race above; the guard +
+# named re-run here is the no-skip proof.
+echo "==> sweep service gates"
+svc_pat='ServedSeriesByteIdentical|ConcurrentClients|Backpressure429|DrainFinishesAcceptedJobs|StreamedPrefixMatchesFinalSeries|OverlappingSweepComputesOnlyNovelPoints'
+n="$(go test -run '^$' -list "$svc_pat" ./internal/service | grep -c '^Test' || true)"
+if [ "$n" -lt 6 ]; then
+    echo "FAIL: internal/service lists only $n service tests matching '$svc_pat' (silent skip)" >&2
+    exit 1
+fi
+echo "    internal/service: $n byte-identity/load/backpressure/drain tests"
+go test -run "$svc_pat" -count=1 ./internal/service > /dev/null
+store_pat='DiskCrashRecovery|DiskRoundTripAcrossReopen|TieredPromotionAndStats|StoreConcurrent'
+n="$(go test -run '^$' -list "$store_pat" ./internal/service/store | grep -c '^Test' || true)"
+if [ "$n" -lt 4 ]; then
+    echo "FAIL: internal/service/store lists only $n store tests matching '$store_pat' (silent skip)" >&2
+    exit 1
+fi
+echo "    internal/service/store: $n crash-recovery/persistence tests"
+go test -run "$store_pat" -count=1 ./internal/service/store > /dev/null
+
+# Daemon smoke: boot the real wlansimd binary on a loopback port with a disk
+# store, run one cold and one warm submission through the real wlansim
+# client, require the warm one fully store-served, then SIGTERM and require
+# a clean drain. This is the only place the actual process lifecycle
+# (flags, signal handling, store reopen) executes.
+echo "==> wlansimd daemon smoke"
+smoke_dir="$(mktemp -d)"
+go build -o "$smoke_dir/wlansimd" ./cmd/wlansimd
+go build -o "$smoke_dir/wlansim" ./cmd/wlansim
+"$smoke_dir/wlansimd" -addr 127.0.0.1:18931 -store-dir "$smoke_dir/store" 2> "$smoke_dir/daemon.log" &
+smoke_pid=$!
+trap 'kill "$smoke_pid" 2> /dev/null || true; rm -rf "$smoke_dir"' EXIT
+for i in $(seq 1 50); do
+    if grep -q 'listening' "$smoke_dir/daemon.log" 2> /dev/null; then break; fi
+    sleep 0.1
+done
+"$smoke_dir/wlansim" submit -addr http://127.0.0.1:18931 -kind evm -packets 2 -points 3 > /dev/null 2> "$smoke_dir/cold.log"
+"$smoke_dir/wlansim" submit -addr http://127.0.0.1:18931 -kind evm -packets 2 -points 3 > /dev/null 2> "$smoke_dir/warm.log"
+if ! grep -q '3/3 points from store' "$smoke_dir/warm.log"; then
+    echo "FAIL: warm resubmission was not fully store-served:" >&2
+    cat "$smoke_dir/warm.log" >&2
+    exit 1
+fi
+kill -TERM "$smoke_pid"
+wait "$smoke_pid"
+if ! grep -q 'drained' "$smoke_dir/daemon.log"; then
+    echo "FAIL: wlansimd did not drain cleanly on SIGTERM:" >&2
+    cat "$smoke_dir/daemon.log" >&2
+    exit 1
+fi
+echo "    cold+warm submissions through the real daemon, warm 3/3 store-served, SIGTERM drained"
+rm -rf "$smoke_dir"
+trap - EXIT
+
 # Hot-path guarantees. The allocation gates pin the zero-steady-state-alloc
 # contract of the packet kernels (they also run under -race above, but the
 # race detector's instrumentation changes allocation behavior, so they are
@@ -115,13 +174,14 @@ done
 echo "==> allocation gates"
 go test -run 'AllocFree|TestFIRProcessSteadyStateAllocs|TestRestartAllocs' -count=1 \
     ./internal/phy ./internal/phy/viterbi ./internal/dsp ./internal/randutil
-go test -run 'TestSweepExecutorBuffersPooled' -count=1 ./internal/sim
+go test -run 'TestSweepExecutorBuffersPooled|TestSweepScratchPooledAcrossConcurrentExecutes' -count=1 ./internal/sim
 
 echo "==> benchmark smoke (1 iteration per scenario)"
 go test -run '^$' -bench 'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkSweepFilterBW|BenchmarkPacketIdeal24|BenchmarkSweepBatched' -benchtime 1x ./internal/core > /dev/null
 go test -run '^$' -bench 'BenchmarkDecodeSoft' -benchtime 1x ./internal/phy/viterbi > /dev/null
 go test -run '^$' -bench 'BenchmarkFIRProcess|BenchmarkComplexFIRProcess|BenchmarkFFT|BenchmarkDFT' -benchtime 1x ./internal/dsp > /dev/null
 go test -run '^$' -bench 'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol' -benchtime 1x ./internal/phy > /dev/null
+go test -run '^$' -bench 'BenchmarkServiceJob' -benchtime 1x ./internal/service > /dev/null
 
 # Benchmark regression gate. Re-measures the tracked packet/sweep scenarios
 # >= 5 times each and compares every scenario's MEDIAN ns/op (benchstat
@@ -137,7 +197,7 @@ go test -run '^$' -bench 'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol' -be
 # near-constant ~10% above the recorded medians, which would eat the whole
 # slack budget. Tune with CHECK_BENCH_TIME and CHECK_BENCH_SLACK_PCT (see
 # the knobs above); CHECK_SKIP_BENCH=1 skips the gate entirely.
-bench_ref="BENCH_8.json"
+bench_ref="BENCH_9.json"
 echo "==> benchmark regression gate (vs $bench_ref, >${CHECK_BENCH_SLACK_PCT:-10}% fails)"
 if [ "${CHECK_SKIP_BENCH:-0}" = "1" ]; then
     echo "    CHECK_SKIP_BENCH=1; skipping"
@@ -213,4 +273,4 @@ for dir in $(grep -rl '^func Fuzz' --include='*_test.go' . | xargs -n1 dirname |
     done
 done
 
-echo "OK: build, vet, wlanlint, escape gate, race tests, dispatch tiers, coverage floors, alloc gates, bench smoke, regression gate and fuzz all clean"
+echo "OK: build, vet, wlanlint, escape gate, race tests, dispatch tiers, coverage floors, service gates, daemon smoke, alloc gates, bench smoke, regression gate and fuzz all clean"

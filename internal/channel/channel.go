@@ -13,14 +13,17 @@ import (
 	"math/rand"
 
 	"wlansim/internal/dsp"
+	"wlansim/internal/randutil"
 	"wlansim/internal/units"
 )
 
 // AWGN is a streaming white Gaussian noise source with a fixed per-sample
-// noise power (variance split equally between I and Q).
+// noise power (variance split equally between I and Q). It draws from the
+// concrete randutil generator — bit-identical to math/rand on the same seed,
+// with the register step inlined into the per-sample ziggurat draw.
 type AWGN struct {
 	sigma float64 // per-dimension standard deviation
-	rng   *rand.Rand
+	rng   *randutil.Rand
 }
 
 // NewAWGN creates a noise source with total noise power powerW per complex
@@ -29,15 +32,15 @@ func NewAWGN(powerW float64, seed int64) *AWGN {
 	if powerW < 0 {
 		powerW = 0
 	}
-	return &AWGN{sigma: math.Sqrt(powerW / 2), rng: rand.New(rand.NewSource(seed))}
+	return &AWGN{sigma: math.Sqrt(powerW / 2), rng: randutil.NewRandDirect(seed)}
 }
 
 // AWGNFrom creates a noise source with total noise power powerW per complex
 // sample that draws from an externally owned generator instead of seeding its
 // own. Callers that re-draw noise per packet (the SNR sweeps' stage-split
-// pipeline) keep one long-lived stream and rewind it with
-// randutil.Restarter, avoiding a costly re-seed per source.
-func AWGNFrom(powerW float64, rng *rand.Rand) *AWGN {
+// pipeline) keep one long-lived stream and rewind it with Mark/Rewind,
+// avoiding a costly re-seed per source.
+func AWGNFrom(powerW float64, rng *randutil.Rand) *AWGN {
 	if powerW < 0 {
 		powerW = 0
 	}
@@ -49,10 +52,24 @@ func (a *AWGN) Sample() complex128 {
 	return complex(a.rng.NormFloat64()*a.sigma, a.rng.NormFloat64()*a.sigma)
 }
 
-// AddTo adds noise to x in place and returns x.
+// AddTo adds noise to x in place and returns x. The draws are materialized
+// chunk-wise through the generator's inlined-fast-path fill — the same
+// re,im-per-sample draw order as a Sample loop — and the scale-and-add per
+// component matches Sample's arithmetic operation for operation.
 func (a *AWGN) AddTo(x []complex128) []complex128 {
-	for i := range x {
-		x[i] += a.Sample()
+	const chunk = 256
+	var re, im [chunk]float64
+	sig := a.sigma
+	for off := 0; off < len(x); off += chunk {
+		seg := x[off:]
+		if len(seg) > chunk {
+			seg = seg[:chunk]
+		}
+		n := len(seg)
+		a.rng.FillNormPairs(re[:n], im[:n])
+		for i := range seg {
+			seg[i] += complex(re[i]*sig, im[i]*sig)
+		}
 	}
 	return x
 }

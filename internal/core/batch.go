@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"wlansim/internal/measure"
 	"wlansim/internal/phy"
@@ -112,9 +111,8 @@ func RunBenchBatch(cfgs []Config) ([]*Result, error) {
 		// Each lane's point-variant noise is its own sequential per-run
 		// stream, exactly as in Run (suffixNoise holds for every lane).
 		s := seed.ForStage(b.stageRoot(StageNoise), int(StageNoise), 0)
-		b.noiseRNG = rand.New(rand.NewSource(s))
-		b.noiseRestart = randutil.New(b.noiseRNG, s)
-		b.noiseRestart.Restart()
+		b.noiseRNG = randutil.NewRandDirect(s)
+		b.noiseMarked = true
 		results[l] = &Result{OversampleFactor: os, FrontEnd: b.cfg.FrontEnd}
 		// Pre-build the lane's DSP receiver opted into the deferred decode:
 		// the packet loop below completes all lanes' Viterbi passes in

@@ -229,14 +229,16 @@ type Bench struct {
 	// Stage RNG streams. txRNG and chRNG are re-seeded per packet and per
 	// stage (seed.ForStage), so each stage's realization is a pure function
 	// of (stage root, packet index) — the property that makes cached stage
-	// outputs order-independent. The noise stream is sequential across the
-	// packets of one Run and rewound by noiseRestart at the top of each Run,
-	// so SNR sweeps re-draw only the noise without paying a per-packet
-	// re-seed of the lagged-Fibonacci state.
-	txRNG        *rand.Rand
-	chRNG        *rand.Rand
-	noiseRNG     *rand.Rand
-	noiseRestart *randutil.Restarter
+	// outputs order-independent; both ride the arithmetic-reseed source so
+	// the per-packet re-seed computes the register directly instead of
+	// walking math/rand's seeding LCG. In suffix-noise mode the noise stream
+	// is sequential across the packets of one Run and rewound to its mark at
+	// the top of each Run, so SNR sweeps re-draw only the noise; noiseMarked
+	// records that the mark was planted at the Run-level point seed.
+	txRNG       *rand.Rand
+	chRNG       *rand.Rand
+	noiseRNG    *randutil.Rand
+	noiseMarked bool
 
 	// frame is the reused wanted-PPDU assembly target; scratch receives the
 	// copy-on-read clone of cached waveforms before mutation.
@@ -376,7 +378,7 @@ func interfererWaveform(rateMbps int, total int, rng *rand.Rand) ([]complex128, 
 // the next synthTX call.
 func (b *Bench) synthTX(p int) ([]byte, *phy.Frame, error) {
 	if b.txRNG == nil {
-		b.txRNG = rand.New(rand.NewSource(0))
+		b.txRNG = randutil.NewReseedingRand(0)
 	}
 	rng := b.txRNG
 	rng.Seed(seed.ForStage(b.stageRoot(StageTX), int(StageTX), p))
@@ -394,7 +396,7 @@ func (b *Bench) synthTX(p int) ([]byte, *phy.Frame, error) {
 // fresh allocation the caller will own).
 func (b *Bench) composeChannel(dst []complex128, frame *phy.Frame, os, p int) ([]complex128, error) {
 	if b.chRNG == nil {
-		b.chRNG = rand.New(rand.NewSource(0))
+		b.chRNG = randutil.NewReseedingRand(0)
 	}
 	rng := b.chRNG
 	rng.Seed(seed.ForStage(b.stageRoot(StageChannel), int(StageChannel), p))
@@ -479,7 +481,7 @@ func (b *Bench) composeChannel(dst []complex128, frame *phy.Frame, os, p int) ([
 // addNoise runs StageNoise: white noise across the composite band so the
 // in-band (20 MHz) SNR equals the requested value, drawn from the given
 // stream.
-func (b *Bench) addNoise(x []complex128, os int, rng *rand.Rand) {
+func (b *Bench) addNoise(x []complex128, os int, rng *randutil.Rand) {
 	wantedW := units.DBmToWatts(b.cfg.WantedPowerDBm)
 	noiseW := wantedW / units.DBToLinear(*b.cfg.ChannelSNRdB) * float64(os)
 	channel.AWGNFrom(noiseW, rng).AddTo(x)
@@ -532,7 +534,7 @@ func (b *Bench) fullPrefix(p, os int, withNoise bool) (*stageEntry, error) {
 	}
 	if withNoise {
 		if b.noiseRNG == nil {
-			b.noiseRNG = rand.New(rand.NewSource(0))
+			b.noiseRNG = randutil.NewRandDirect(0)
 		}
 		b.noiseRNG.Seed(seed.ForStage(b.stageRoot(StageNoise), int(StageNoise), p))
 		b.addNoise(wave, os, b.noiseRNG)
@@ -697,16 +699,21 @@ func (b *Bench) Run() (*Result, error) {
 		// by snapshot restore instead of a costly re-seed. Draw counts per
 		// packet are fixed by the configuration, so packet p's noise is
 		// independent of how many packets run after it.
-		if b.noiseRestart == nil {
-			// The Restarter snapshots the generator's current state, so the
-			// source must be built from the point's noise seed — snapshotting
-			// a differently seeded generator would hand every sweep point the
-			// same noise realization.
+		if !b.noiseMarked {
+			// The mark snapshots the generator's current state, so it must be
+			// planted right after seeding with the point's noise seed —
+			// marking a differently seeded generator would hand every sweep
+			// point the same noise realization.
 			s := seed.ForStage(b.stageRoot(StageNoise), int(StageNoise), 0)
-			b.noiseRNG = rand.New(rand.NewSource(s))
-			b.noiseRestart = randutil.New(b.noiseRNG, s)
+			if b.noiseRNG == nil {
+				b.noiseRNG = randutil.NewRandDirect(s)
+			} else {
+				b.noiseRNG.Seed(s)
+				b.noiseRNG.Mark()
+			}
+			b.noiseMarked = true
 		}
-		b.noiseRestart.Restart()
+		b.noiseRNG.Rewind()
 	}
 	res := &Result{OversampleFactor: os, FrontEnd: b.cfg.FrontEnd}
 	var evm evmAccum

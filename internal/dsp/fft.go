@@ -13,14 +13,41 @@ import (
 	"math/bits"
 	"math/cmplx"
 	"sync"
+
+	"wlansim/internal/kernels"
 )
 
 // FFTPlan caches the twiddle factors and bit-reversal permutation for a fixed
-// power-of-two transform size. A plan is safe for concurrent use once built.
+// power-of-two transform size, plus the planar split-complex machinery the
+// transform actually runs on: per-stage twiddle planes (forward and exactly
+// conjugated inverse tables, so the stage loop carries neither the k*step
+// index multiply nor the inverse-conjugation branch) and a pool of planar
+// scratch frames, so steady-state transforms allocate nothing. A plan is safe
+// for concurrent use once built.
 type FFTPlan struct {
 	n       int
 	twiddle []complex128 // exp(-2*pi*i*k/n) for k in [0, n/2)
 	rev     []int
+	rev64   []int64 // rev as gather indices for kernels.FFTPermute
+	stages  int     // log2(n)
+	// Per-stage twiddle planes: stage s (half = 1<<s) reads stageWr[s][k] +
+	// i*fwdWi[s][k]; the inverse transform swaps in invWi[s] — the exact
+	// negation of fwdWi[s], bit-identical to cmplx.Conj of each factor. The
+	// real planes are shared: conjugation only flips the imaginary part.
+	stageWr [][]float64
+	fwdWi   [][]float64
+	invWi   [][]float64
+	scratch sync.Pool // *fftScratch
+}
+
+// fftScratch holds the planar working set of one in-flight transform: the
+// deinterleaved input planes, the bit-reversed butterfly planes, and the
+// lane-interleaved quad planes used by the batched ForwardMany/InverseMany
+// path. One allocation per worker at steady state, reused via the plan pool.
+type fftScratch struct {
+	sre, sim []float64 // deinterleaved input (also inverse-path second pair)
+	pre, pim []float64 // bit-reversed working planes the stages run on
+	qre, qim []float64 // lane-interleaved planes for four-frame batches
 }
 
 // NewFFTPlan builds a plan for an n-point transform. n must be a power of two
@@ -29,16 +56,41 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 	if n < 1 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("dsp: FFT size %d is not a power of two", n)
 	}
-	p := &FFTPlan{n: n}
+	p := &FFTPlan{n: n, stages: bits.TrailingZeros(uint(n))}
 	p.twiddle = make([]complex128, n/2)
 	for k := range p.twiddle {
 		//lint:ignore hotpathexp one-time twiddle table construction at plan creation
 		p.twiddle[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
 	}
 	p.rev = make([]int, n)
+	p.rev64 = make([]int64, n)
 	shift := 64 - uint(bits.TrailingZeros(uint(n)))
 	for i := range p.rev {
 		p.rev[i] = int(bits.Reverse64(uint64(i)) >> shift)
+		p.rev64[i] = int64(p.rev[i])
+	}
+	p.stageWr = make([][]float64, p.stages)
+	p.fwdWi = make([][]float64, p.stages)
+	p.invWi = make([][]float64, p.stages)
+	for s := 0; s < p.stages; s++ {
+		half := 1 << s
+		step := n / (2 * half)
+		wr := make([]float64, half)
+		fwi := make([]float64, half)
+		iwi := make([]float64, half)
+		for k := 0; k < half; k++ {
+			w := p.twiddle[k*step]
+			wr[k], fwi[k] = real(w), imag(w)
+			iwi[k] = -imag(w) // == imag(cmplx.Conj(w)), exactly
+		}
+		p.stageWr[s], p.fwdWi[s], p.invWi[s] = wr, fwi, iwi
+	}
+	p.scratch.New = func() any {
+		return &fftScratch{
+			sre: make([]float64, n), sim: make([]float64, n),
+			pre: make([]float64, n), pim: make([]float64, n),
+			qre: make([]float64, 4*n), qim: make([]float64, 4*n),
+		}
 	}
 	return p, nil
 }
@@ -60,16 +112,56 @@ func (p *FFTPlan) Forward(x []complex128) {
 //lint:hotpath
 func (p *FFTPlan) Inverse(x []complex128) {
 	p.transform(x, true)
-	scale := complex(1/float64(p.n), 0)
-	for i := range x {
-		x[i] *= scale
-	}
 }
 
+// transform runs the planar split-complex pipeline: deinterleave into pooled
+// planes, out-of-place bit-reversal gather, one kernels.FFTStage call per
+// stage against the precomputed twiddle planes (the inverse path swaps in
+// the conjugate table instead of branching per butterfly), the 1/N
+// normalization as a planar complex scale on the inverse path, and
+// reinterleave. Bit-identical to the frozen scalar transformRef (plus its
+// caller's scale loop on the inverse path): each plane element carries one
+// unchanged scalar butterfly chain in the compiler's own complex128
+// lowering. Allocation-free at steady state — the planar working set comes
+// from the plan's scratch pool.
+//
 //lint:hotpath
 func (p *FFTPlan) transform(x []complex128, inverse bool) {
 	if len(x) != p.n {
 		//lint:ignore escape panic path only: the formatted lengths box
+		panic(fmt.Sprintf("dsp: FFT input length %d does not match plan size %d", len(x), p.n))
+	}
+	s := p.scratch.Get().(*fftScratch)
+	kernels.Deinterleave(s.sre, s.sim, x)
+	kernels.FFTPermute(s.pre, s.sre, p.rev64)
+	kernels.FFTPermute(s.pim, s.sim, p.rev64)
+	p.stagesInPlace(s.pre, s.pim, inverse)
+	if inverse {
+		kernels.ScaleCplx(s.pre, s.pim, 1/float64(p.n))
+	}
+	kernels.Interleave(x, s.pre, s.pim)
+	p.scratch.Put(s)
+}
+
+// stagesInPlace runs every butterfly stage over bit-reversed planar data.
+//
+//lint:hotpath
+func (p *FFTPlan) stagesInPlace(re, im []float64, inverse bool) {
+	wi := p.fwdWi
+	if inverse {
+		wi = p.invWi
+	}
+	for st := 0; st < p.stages; st++ {
+		kernels.FFTStage(re, im, p.stageWr[st], wi[st], 1<<st)
+	}
+}
+
+// transformRef is the retained scalar interleaved transform, frozen as the
+// differential-test oracle for the planar pipeline. It performs no
+// normalization — the inverse caller scales by 1/N afterwards, exactly as
+// the old Inverse did.
+func (p *FFTPlan) transformRef(x []complex128, inverse bool) {
+	if len(x) != p.n {
 		panic(fmt.Sprintf("dsp: FFT input length %d does not match plan size %d", len(x), p.n))
 	}
 	for i, j := range p.rev {
@@ -92,6 +184,61 @@ func (p *FFTPlan) transform(x []complex128, inverse bool) {
 				x[start+k+half] = a - b
 			}
 		}
+	}
+}
+
+// ForwardMany computes the in-place forward DFT of every frame, four at a
+// time through the lane-interleaved planar pipeline (each vector carries the
+// same butterfly of four independent transforms, so every stage vectorizes —
+// including the half < 4 stages the single-frame path runs scalar). Each
+// frame must have the plan's length. Bit-identical, frame for frame, to
+// calling Forward on each.
+//
+//lint:hotpath
+func (p *FFTPlan) ForwardMany(xs [][]complex128) {
+	p.transformMany(xs, false)
+}
+
+// InverseMany computes the in-place normalized inverse DFT of every frame,
+// four at a time. Bit-identical, frame for frame, to calling Inverse on each.
+//
+//lint:hotpath
+func (p *FFTPlan) InverseMany(xs [][]complex128) {
+	p.transformMany(xs, true)
+}
+
+//lint:hotpath
+func (p *FFTPlan) transformMany(xs [][]complex128, inverse bool) {
+	g := 0
+	if len(xs) >= 4 {
+		s := p.scratch.Get().(*fftScratch)
+		wi := p.fwdWi
+		if inverse {
+			wi = p.invWi
+		}
+		for ; g+4 <= len(xs); g += 4 {
+			quad := xs[g : g+4]
+			for _, x := range quad {
+				if len(x) != p.n {
+					//lint:ignore escape panic path only: the formatted lengths box
+					panic(fmt.Sprintf("dsp: FFT input length %d does not match plan size %d", len(x), p.n))
+				}
+			}
+			kernels.FFTPackX4(s.qre, s.qim, quad, p.rev64)
+			for st := 0; st < p.stages; st++ {
+				kernels.FFTStageX4(s.qre, s.qim, p.stageWr[st], wi[st], 1<<st)
+			}
+			if inverse {
+				// Elementwise planar scale: layout-agnostic, so it applies to
+				// the lane-interleaved planes exactly as to single frames.
+				kernels.ScaleCplx(s.qre, s.qim, 1/float64(p.n))
+			}
+			kernels.FFTUnpackX4(quad, s.qre, s.qim)
+		}
+		p.scratch.Put(s)
+	}
+	for ; g < len(xs); g++ {
+		p.transform(xs[g], inverse)
 	}
 }
 
@@ -139,6 +286,39 @@ func IFFT(x []complex128) []complex128 {
 	copy(out, x)
 	p.Inverse(out)
 	return out
+}
+
+// FFTInto computes the forward DFT of x into dst without allocating: the
+// caller owns the output buffer, and the shared plan's pooled planar scratch
+// covers the transform working set. dst and x must have the same power-of-two
+// length (they may alias). Bit-identical to FFT.
+//
+//lint:hotpath
+func FFTInto(dst, x []complex128) {
+	p, err := PlanFor(len(x))
+	if err != nil {
+		panic(err)
+	}
+	if &dst[0] != &x[0] {
+		copy(dst, x)
+	}
+	p.Forward(dst)
+}
+
+// IFFTInto computes the normalized inverse DFT of x into dst without
+// allocating. dst and x must have the same power-of-two length (they may
+// alias). Bit-identical to IFFT.
+//
+//lint:hotpath
+func IFFTInto(dst, x []complex128) {
+	p, err := PlanFor(len(x))
+	if err != nil {
+		panic(err)
+	}
+	if &dst[0] != &x[0] {
+		copy(dst, x)
+	}
+	p.Inverse(dst)
 }
 
 // FFTShift rotates the spectrum so that the zero-frequency bin moves to the

@@ -217,6 +217,7 @@ func TestFIROverlapSaveEngaged(t *testing.T) {
 // TestFIRProcessSteadyStateAllocs is the allocation gate from the perf PR:
 // once warmed up, frame filtering must not touch the heap on either path.
 func TestFIRProcessSteadyStateAllocs(t *testing.T) {
+	skipAllocGateUnderRace(t) // the OLS path rides the FFT plan's scratch pool
 	rng := rand.New(rand.NewSource(11))
 	for _, taps := range []int{11, 193} {
 		f := NewFIR(realTaps(rng, taps))

@@ -114,3 +114,48 @@ func BenchmarkDFT(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIIRCascade3 tracks the sequential channel-select cascade: an
+// order-5 Chebyshev low-pass (two biquads plus a first-order tail) over a
+// receiver-sized frame, the shape iirFused3 specializes.
+func BenchmarkIIRCascade3(b *testing.B) {
+	f, err := DesignChebyshev1(5, Lowpass, 9.5e6/20e6, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := benchFrame(4096, 3)
+	buf := make([]complex128, len(x))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(x) * 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		f.Process(buf)
+	}
+}
+
+// BenchmarkFFTBatch tracks the lane-parallel batched transform path
+// (ForwardMany: four 64-point transforms per X4 pass), the shape the
+// symbol-major OFDM demodulator drives.
+func BenchmarkFFTBatch(b *testing.B) {
+	p, err := NewFFTPlan(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const frames = 32
+	src := make([][]complex128, frames)
+	buf := make([][]complex128, frames)
+	for i := range src {
+		src[i] = benchFrame(64, int64(100+i))
+		buf[i] = make([]complex128, 64)
+	}
+	b.ReportAllocs()
+	b.SetBytes(frames * 64 * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range src {
+			copy(buf[j], src[j])
+		}
+		p.ForwardMany(buf)
+	}
+}

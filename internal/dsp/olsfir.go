@@ -7,6 +7,8 @@ package dsp
 // consumes the same extended frame (history prefix + new samples) the direct
 // block path uses, so switching paths never changes the streaming state.
 
+import "wlansim/internal/kernels"
+
 const (
 	// olsMinTaps is the tap count above which Process switches from the
 	// direct block convolution to FFT overlap-save, provided the frame is
@@ -28,6 +30,8 @@ type olsConv struct {
 	l    int // new output samples per block: n - (taps-1)
 	plan *FFTPlan
 	h    []complex128 // forward transform of the zero-padded taps
+	hre  []float64    // h deinterleaved: spectral product operands for MulCplx
+	him  []float64
 	seg  []complex128 // block scratch, reused across calls
 }
 
@@ -47,7 +51,10 @@ func newOLSConv(taps []complex128) *olsConv {
 	h := make([]complex128, n)
 	copy(h, taps)
 	plan.Forward(h)
-	return &olsConv{taps: t, n: n, l: n - (t - 1), plan: plan, h: h, seg: make([]complex128, n)}
+	hre := make([]float64, n)
+	him := make([]float64, n)
+	kernels.Deinterleave(hre, him, h)
+	return &olsConv{taps: t, n: n, l: n - (t - 1), plan: plan, h: h, hre: hre, him: him, seg: make([]complex128, n)}
 }
 
 func newOLSConvReal(taps []float64) *olsConv {
@@ -80,11 +87,25 @@ func (c *olsConv) process(dst, ext []complex128) {
 		for i := copied; i < c.n; i++ {
 			c.seg[i] = 0
 		}
-		c.plan.Forward(c.seg)
-		for i, hv := range c.h {
-			c.seg[i] *= hv
-		}
-		c.plan.Inverse(c.seg)
+		// Planar round trip: forward stages, spectral product against the
+		// deinterleaved filter planes, inverse stages — staying split-complex
+		// between the two transforms skips the interleave/deinterleave round
+		// trips that Forward + seg[i] *= h[i] + Inverse would perform. The
+		// arithmetic per element is identical (MulCplx and ScaleCplx are the
+		// compiler's complex128 lowering), so the output is bit-identical to
+		// the interleaved sequence.
+		s := c.plan.scratch.Get().(*fftScratch)
+		kernels.Deinterleave(s.sre, s.sim, c.seg)
+		kernels.FFTPermute(s.pre, s.sre, c.plan.rev64)
+		kernels.FFTPermute(s.pim, s.sim, c.plan.rev64)
+		c.plan.stagesInPlace(s.pre, s.pim, false)
+		kernels.MulCplx(s.pre, s.pim, c.hre, c.him)
+		kernels.FFTPermute(s.sre, s.pre, c.plan.rev64)
+		kernels.FFTPermute(s.sim, s.pim, c.plan.rev64)
+		c.plan.stagesInPlace(s.sre, s.sim, true)
+		kernels.ScaleCplx(s.sre, s.sim, 1/float64(c.n))
+		kernels.Interleave(c.seg, s.sre, s.sim)
+		c.plan.scratch.Put(s)
 		// The first taps-1 samples of each block are circular-wrap
 		// garbage; samples [p, p+cnt) are exact linear convolution.
 		copy(dst[start:start+cnt], c.seg[p:p+cnt])

@@ -1,0 +1,45 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Benchmarks of the planar FFT stage kernels under the current dispatch
+// tier, tracked by scripts/bench.sh (BENCH_*.json). Frame sizes mirror the
+// OFDM engine: a 64-point transform's widest stage repeated across a
+// packet-sized plane, and the lane-interleaved X4 layout the batched
+// transforms use.
+
+func fftBenchPlane(n int, seed int64) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := range re {
+		re[i] = rng.NormFloat64()
+		im[i] = rng.NormFloat64()
+	}
+	return re, im
+}
+
+func BenchmarkFFTStage(b *testing.B) {
+	const n, half = 4096, 32
+	re, im := fftBenchPlane(n, 21)
+	wr, wi := fftBenchPlane(half, 22)
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFTStage(re, im, wr, wi, half)
+	}
+}
+
+func BenchmarkFFTStageX4(b *testing.B) {
+	const n, half = 4096, 32 // 4 lanes x 1024-element planes
+	re, im := fftBenchPlane(n, 23)
+	wr, wi := fftBenchPlane(half, 24)
+	b.SetBytes(n * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFTStageX4(re, im, wr, wi, half)
+	}
+}

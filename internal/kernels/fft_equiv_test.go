@@ -1,0 +1,312 @@
+package kernels
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// Both-tiers differential suite for the exported FFT-engine kernels: every
+// entry point is run under SIMD dispatch on and off (no build tag — the
+// purego CI job runs this file too, where both tiers are the Go twin) and
+// compared bit for bit against the frozen references, including the ragged
+// shapes the SIMD wrappers route to scalar tails or the Go twin outright.
+// The composed-transform test additionally pins the planar butterfly
+// arithmetic to a scalar complex128 radix-2 loop — the compiler's own
+// complex multiply lowering — on Gaussian and adversarial inputs.
+
+// fftRestoreDispatch reverts any SetDispatch flips when the test ends.
+func fftRestoreDispatch(t *testing.T) {
+	t.Helper()
+	prev := DispatchName() != "purego"
+	t.Cleanup(func() { SetDispatch(prev) })
+}
+
+// fftRandPlane fills a plane with Gaussian values plus occasional
+// adversarial bit patterns when requested.
+func fftRandPlane(rng *rand.Rand, n int, adversarial bool) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+		if adversarial {
+			switch rng.Intn(24) {
+			case 0:
+				out[i] = math.NaN()
+			case 1:
+				out[i] = math.Inf(1)
+			case 2:
+				out[i] = math.Inf(-1)
+			case 3:
+				out[i] = math.SmallestNonzeroFloat64
+			case 4:
+				out[i] = -1e308
+			}
+		}
+	}
+	return out
+}
+
+// fftStageTwiddles builds the per-stage twiddle planes for an n-point
+// forward transform stage of the given half size: w_k = e^{-2πik/(2·half)}.
+func fftStageTwiddles(half int) (wr, wi []float64) {
+	wr = make([]float64, half)
+	wi = make([]float64, half)
+	for k := range wr {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(2*half)))
+		wr[k], wi[k] = real(w), imag(w)
+	}
+	return wr, wi
+}
+
+func TestExportedFFTKernelsMatchRefBothTiers(t *testing.T) {
+	fftRestoreDispatch(t)
+	rng := rand.New(rand.NewSource(51))
+	for _, simd := range []bool{true, false} {
+		SetDispatch(simd)
+
+		// FFTStage: power-of-two halves exercise the vector body, the
+		// rest the Go fallback inside the SIMD wrapper.
+		for _, half := range []int{1, 2, 3, 4, 6, 8, 16, 32} {
+			for _, blocks := range []int{1, 2, 3} {
+				for trial := 0; trial < 4; trial++ {
+					adv := trial%2 == 1
+					n := 2 * half * blocks
+					wr, wi := fftStageTwiddles(half)
+					re := fftRandPlane(rng, n, adv)
+					im := fftRandPlane(rng, n, adv)
+					re2 := append([]float64(nil), re...)
+					im2 := append([]float64(nil), im...)
+					FFTStage(re, im, wr, wi, half)
+					FFTStageRef(re2, im2, wr, wi, half)
+					bitsEqual(t, "stage re", re, re2)
+					bitsEqual(t, "stage im", im, im2)
+
+					re = fftRandPlane(rng, 4*n, adv)
+					im = fftRandPlane(rng, 4*n, adv)
+					re2 = append([]float64(nil), re...)
+					im2 = append([]float64(nil), im...)
+					FFTStageX4(re, im, wr, wi, half)
+					FFTStageX4Ref(re2, im2, wr, wi, half)
+					bitsEqual(t, "stagex4 re", re, re2)
+					bitsEqual(t, "stagex4 im", im, im2)
+				}
+			}
+		}
+
+		// Permute / ScaleCplx / MulCplx over ragged lengths (scalar
+		// tails) and quad lengths (vector body).
+		for _, n := range []int{1, 3, 4, 5, 17, 64} {
+			for trial := 0; trial < 4; trial++ {
+				adv := trial%2 == 1
+
+				src := fftRandPlane(rng, n+5, adv)
+				idx := make([]int64, n)
+				for i := range idx {
+					idx[i] = int64(rng.Intn(len(src)))
+				}
+				dst := make([]float64, n)
+				dst2 := make([]float64, n)
+				FFTPermute(dst, src, idx)
+				FFTPermuteRef(dst2, src, idx)
+				bitsEqual(t, "permute", dst, dst2)
+
+				s := []float64{1.0 / 64, 0, math.Inf(-1), math.NaN()}[trial%4]
+				re := fftRandPlane(rng, n, adv)
+				im := fftRandPlane(rng, n, adv)
+				re2 := append([]float64(nil), re...)
+				im2 := append([]float64(nil), im...)
+				ScaleCplx(re, im, s)
+				ScaleCplxRef(re2, im2, s)
+				bitsEqual(t, "scalecplx re", re, re2)
+				bitsEqual(t, "scalecplx im", im, im2)
+
+				ar := fftRandPlane(rng, n, adv)
+				ai := fftRandPlane(rng, n, adv)
+				br := fftRandPlane(rng, n, adv)
+				bi := fftRandPlane(rng, n, adv)
+				ar2 := append([]float64(nil), ar...)
+				ai2 := append([]float64(nil), ai...)
+				MulCplx(ar, ai, br, bi)
+				MulCplxRef(ar2, ai2, br, bi)
+				bitsEqual(t, "mulcplx re", ar, ar2)
+				bitsEqual(t, "mulcplx im", ai, ai2)
+			}
+		}
+	}
+}
+
+// fftBitrevIndex builds the bit-reversal permutation table for size n.
+func fftBitrevIndex(n int) []int64 {
+	idx := make([]int64, n)
+	for i, j := 0, 0; i < n; i++ {
+		idx[i] = int64(j)
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+	}
+	return idx
+}
+
+// fftScalarOracle is a scalar complex128 radix-2 DIT transform over the
+// same bit-reversal table and per-stage twiddles the planar path uses: the
+// butterfly product b*w is written as a native complex128 multiply, so the
+// comparison pins the planar kernels to the compiler's own lowering —
+// including NaN/±Inf propagation through the zero-product terms.
+func fftScalarOracle(x []complex128, idx []int64) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for i, j := range idx {
+		out[i] = x[j]
+	}
+	for half := 1; half < n; half *= 2 {
+		wr, wi := fftStageTwiddles(half)
+		for base := 0; base < n; base += 2 * half {
+			for k := 0; k < half; k++ {
+				w := complex(wr[k], wi[k])
+				a := out[base+k]
+				b := out[base+k+half] * w
+				out[base+k] = a + b
+				out[base+k+half] = a - b
+			}
+		}
+	}
+	return out
+}
+
+// TestFFTComposedMatchesComplexTransform composes the planar kernels into
+// full transforms (permute, then every stage) and asserts bit equality with
+// the scalar complex128 oracle on Gaussian and adversarial frames, under
+// both dispatch tiers.
+func TestFFTComposedMatchesComplexTransform(t *testing.T) {
+	fftRestoreDispatch(t)
+	rng := rand.New(rand.NewSource(53))
+	for _, simd := range []bool{true, false} {
+		SetDispatch(simd)
+		for _, n := range []int{2, 8, 64, 256} {
+			idx := fftBitrevIndex(n)
+			for trial := 0; trial < 8; trial++ {
+				adv := trial%2 == 1
+				x := make([]complex128, n)
+				for i := range x {
+					x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+				}
+				if adv {
+					for i := range x {
+						if rng.Intn(16) == 0 {
+							x[i] = complex(math.Inf(1), math.NaN())
+						}
+					}
+				}
+				want := fftScalarOracle(x, idx)
+
+				sre := make([]float64, n)
+				sim := make([]float64, n)
+				pre := make([]float64, n)
+				pim := make([]float64, n)
+				Deinterleave(sre, sim, x)
+				FFTPermute(pre, sre, idx)
+				FFTPermute(pim, sim, idx)
+				for half := 1; half < n; half *= 2 {
+					wr, wi := fftStageTwiddles(half)
+					FFTStage(pre, pim, wr, wi, half)
+				}
+				got := make([]complex128, n)
+				Interleave(got, pre, pim)
+				for i := range got {
+					gr, gi := real(got[i]), imag(got[i])
+					wr, wi := real(want[i]), imag(want[i])
+					if math.IsNaN(gr) && math.IsNaN(wr) {
+						gr, wr = 0, 0
+					}
+					if math.IsNaN(gi) && math.IsNaN(wi) {
+						gi, wi = 0, 0
+					}
+					if math.Float64bits(gr) != math.Float64bits(wr) ||
+						math.Float64bits(gi) != math.Float64bits(wi) {
+						t.Fatalf("tier %s n=%d trial %d bin %d: planar %v != oracle %v",
+							DispatchName(), n, trial, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFFTStageX4MatchesFourSingles packs four independent frames into the
+// lane-interleaved layout, runs the X4 stage pipeline, unpacks, and asserts
+// each lane is bit-identical to the single-transform planar pipeline on the
+// same frame — the invariant that makes batched transforms byte-identical
+// to sequential ones. Both dispatch tiers.
+func TestFFTStageX4MatchesFourSingles(t *testing.T) {
+	fftRestoreDispatch(t)
+	rng := rand.New(rand.NewSource(54))
+	for _, simd := range []bool{true, false} {
+		SetDispatch(simd)
+		for _, n := range []int{8, 64, 128} {
+			idx := fftBitrevIndex(n)
+			for trial := 0; trial < 6; trial++ {
+				adv := trial%2 == 1
+				frames := make([][]complex128, 4)
+				singles := make([][]complex128, 4)
+				for l := range frames {
+					frames[l] = make([]complex128, n)
+					for i := range frames[l] {
+						frames[l][i] = complex(rng.NormFloat64(), rng.NormFloat64())
+						if adv && rng.Intn(16) == 0 {
+							frames[l][i] = complex(math.Inf(-1), math.NaN())
+						}
+					}
+					singles[l] = append([]complex128(nil), frames[l]...)
+				}
+
+				// Lane-interleaved pipeline.
+				qre := make([]float64, 4*n)
+				qim := make([]float64, 4*n)
+				FFTPackX4(qre, qim, frames, idx)
+				for half := 1; half < n; half *= 2 {
+					wr, wi := fftStageTwiddles(half)
+					FFTStageX4(qre, qim, wr, wi, half)
+				}
+				FFTUnpackX4(frames, qre, qim)
+
+				// Four independent single-transform pipelines.
+				for l := range singles {
+					sre := make([]float64, n)
+					sim := make([]float64, n)
+					pre := make([]float64, n)
+					pim := make([]float64, n)
+					Deinterleave(sre, sim, singles[l])
+					FFTPermute(pre, sre, idx)
+					FFTPermute(pim, sim, idx)
+					for half := 1; half < n; half *= 2 {
+						wr, wi := fftStageTwiddles(half)
+						FFTStage(pre, pim, wr, wi, half)
+					}
+					Interleave(singles[l], pre, pim)
+				}
+
+				for l := range frames {
+					for i := range frames[l] {
+						g, w := frames[l][i], singles[l][i]
+						gr, gi := real(g), imag(g)
+						wr, wi := real(w), imag(w)
+						if math.IsNaN(gr) && math.IsNaN(wr) {
+							gr, wr = 0, 0
+						}
+						if math.IsNaN(gi) && math.IsNaN(wi) {
+							gi, wi = 0, 0
+						}
+						if math.Float64bits(gr) != math.Float64bits(wr) ||
+							math.Float64bits(gi) != math.Float64bits(wi) {
+							t.Fatalf("tier %s n=%d lane %d bin %d: x4 %v != single %v",
+								DispatchName(), n, l, i, g, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -212,6 +212,76 @@ func FuzzFIRBatch(f *testing.F) {
 	})
 }
 
+// FuzzFFTStage drives the planar FFT butterfly stage — single-transform and
+// lane-interleaved X4 — against the frozen references under both dispatch
+// tiers. The fuzzer owns the stage geometry (half and block count, so the
+// vector body, the half < 4 Go fallback and ragged shapes all get hit) and
+// the raw float64 bit patterns of both the twiddle planes and the data
+// planes, so the no-FMA / ordered-rounding contract is checked on NaN
+// payloads, infinities and denormals the seeded tests only sample.
+func FuzzFFTStage(f *testing.F) {
+	seed := func(halfExp, blocks byte, vals ...float64) []byte {
+		b := make([]byte, 2+8*len(vals))
+		b[0], b[1] = halfExp, blocks
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[2+8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(seed(2, 0, 1, 0, 0, -1, 0.5, -0.5, 0.25, 1.5, 2, -2, 3, -3, 4, -4, 5, -5))
+	f.Add(seed(0, 1, math.Inf(1), math.NaN(), 1, -1, math.SmallestNonzeroFloat64, -1e308))
+	f.Add(seed(5, 2, 0.7071067811865476, -0.7071067811865476, 1, 1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		half := 1 << (int(data[0]) % 6)
+		blocks := int(data[1])%3 + 1
+		n := 2 * half * blocks
+		vals := fuzzFloats(data[2:], 2*half+2*n)
+		if len(vals) < 2*half+2*n {
+			return
+		}
+		wr, wi := vals[:half], vals[half:2*half]
+		re0, im0 := vals[2*half:2*half+n], vals[2*half+n:2*half+2*n]
+
+		// Lane-interleaved planes: four rotations of the payload frame so the
+		// X4 lanes carry distinct chains.
+		qre0 := make([]float64, 4*n)
+		qim0 := make([]float64, 4*n)
+		for i := 0; i < n; i++ {
+			for l := 0; l < 4; l++ {
+				qre0[4*i+l] = re0[(i+l)%n]
+				qim0[4*i+l] = im0[(i+l)%n]
+			}
+		}
+
+		prev := DispatchName() != "purego"
+		defer SetDispatch(prev)
+		for _, simd := range []bool{true, false} {
+			SetDispatch(simd)
+
+			gre := append([]float64(nil), re0...)
+			gim := append([]float64(nil), im0...)
+			wre := append([]float64(nil), re0...)
+			wim := append([]float64(nil), im0...)
+			FFTStage(gre, gim, wr, wi, half)
+			FFTStageRef(wre, wim, wr, wi, half)
+			bitsEqual(t, "stage re", gre, wre)
+			bitsEqual(t, "stage im", gim, wim)
+
+			qre := append([]float64(nil), qre0...)
+			qim := append([]float64(nil), qim0...)
+			qre2 := append([]float64(nil), qre0...)
+			qim2 := append([]float64(nil), qim0...)
+			FFTStageX4(qre, qim, wr, wi, half)
+			FFTStageX4Ref(qre2, qim2, wr, wi, half)
+			bitsEqual(t, "x4 re", qre, qre2)
+			bitsEqual(t, "x4 im", qim, qim2)
+		}
+	})
+}
+
 // FuzzFIRCplx runs the 4-way-unrolled planar complex FIR and its reference
 // over the same fuzzer-chosen taps and extended input. The fuzzer controls
 // the tap count (first byte), so the unroll main body, the scalar tail and

@@ -553,3 +553,204 @@ deinterleave_loop:
 	JLT     deinterleave_loop
 	VZEROUPPER
 	RET
+
+// func fftStageAsm(re, im []float64, wr, wi []float64, half int)
+//
+// One radix-2 DIT butterfly stage over the planar frame, four butterflies
+// per vector. Each lane is one scalar butterfly chain in the twin's order:
+// tr = br*wr - bi*wi, ti = br*wi + bi*wr (the compiler's complex128
+// lowering, one rounding per operation, no FMA), then a+t / a-t. half is a
+// positive multiple of 4 and len(re) a positive multiple of 2*half, so
+// every block holds whole quads and quads never straddle blocks.
+//
+// Register plan: DI re, SI im, R8 wr, R9 wi, BX half, CX len, DX block
+// base, AX k, R10/R11 the i/j element indices.
+TEXT ·fftStageAsm(SB), NOSPLIT, $0-104
+	MOVQ re_base+0(FP), DI
+	MOVQ re_len+8(FP), CX
+	MOVQ im_base+24(FP), SI
+	MOVQ wr_base+48(FP), R8
+	MOVQ wi_base+72(FP), R9
+	MOVQ half+96(FP), BX
+	XORQ DX, DX
+
+fftstage_block:
+	XORQ AX, AX
+
+fftstage_quad:
+	LEAQ    (DX)(AX*1), R10    // i = base + k
+	LEAQ    (R10)(BX*1), R11   // j = i + half
+	VMOVUPD (DI)(R11*8), Y0    // br
+	VMOVUPD (SI)(R11*8), Y1    // bi
+	VMOVUPD (R8)(AX*8), Y2     // wr[k..k+3]
+	VMOVUPD (R9)(AX*8), Y3     // wi[k..k+3]
+	VMULPD  Y2, Y0, Y4         // br*wr
+	VMULPD  Y3, Y1, Y5         // bi*wi
+	VSUBPD  Y5, Y4, Y4         // tr = br*wr - bi*wi
+	VMULPD  Y3, Y0, Y5         // br*wi
+	VMULPD  Y2, Y1, Y6         // bi*wr
+	VADDPD  Y6, Y5, Y5         // ti = br*wi + bi*wr
+	VMOVUPD (DI)(R10*8), Y6    // ar
+	VMOVUPD (SI)(R10*8), Y7    // ai
+	VADDPD  Y4, Y6, Y8         // ar + tr
+	VADDPD  Y5, Y7, Y9         // ai + ti
+	VSUBPD  Y4, Y6, Y10        // ar - tr
+	VSUBPD  Y5, Y7, Y11        // ai - ti
+	VMOVUPD Y8, (DI)(R10*8)
+	VMOVUPD Y9, (SI)(R10*8)
+	VMOVUPD Y10, (DI)(R11*8)
+	VMOVUPD Y11, (SI)(R11*8)
+	ADDQ    $4, AX
+	CMPQ    AX, BX
+	JLT     fftstage_quad
+	LEAQ    (DX)(BX*2), DX     // base += 2*half
+	CMPQ    DX, CX
+	JLT     fftstage_block
+	VZEROUPPER
+	RET
+
+// func fftStageX4Asm(re, im []float64, wr, wi []float64, half int)
+//
+// The lane-interleaved variant: element e of transform l lives at 4*e+l,
+// so one vector holds the same butterfly element of four independent
+// transforms and the twiddle broadcasts — every stage vectorizes fully,
+// including half 1 and 2. Same per-lane operation order as fftStageAsm.
+// half is positive and len(re) a positive multiple of 8*half.
+//
+// Register plan: DI re, SI im, R8 wr, R9 wi, BX half, CX len (floats),
+// DX block base (floats), AX k, R10/R11 the i/j float offsets, R12 4*half.
+TEXT ·fftStageX4Asm(SB), NOSPLIT, $0-104
+	MOVQ re_base+0(FP), DI
+	MOVQ re_len+8(FP), CX
+	MOVQ im_base+24(FP), SI
+	MOVQ wr_base+48(FP), R8
+	MOVQ wi_base+72(FP), R9
+	MOVQ half+96(FP), BX
+	MOVQ BX, R12
+	SHLQ $2, R12               // lane hop between butterfly halves
+	XORQ DX, DX
+
+fftx4_block:
+	XORQ AX, AX
+
+fftx4_bfly:
+	VBROADCASTSD (R8)(AX*8), Y2 // wr[k]
+	VBROADCASTSD (R9)(AX*8), Y3 // wi[k]
+	LEAQ         (DX)(AX*4), R10  // i4 = base4 + 4k
+	LEAQ         (R10)(R12*1), R11 // j4 = i4 + 4*half
+	VMOVUPD      (DI)(R11*8), Y0  // br
+	VMOVUPD      (SI)(R11*8), Y1  // bi
+	VMULPD       Y2, Y0, Y4
+	VMULPD       Y3, Y1, Y5
+	VSUBPD       Y5, Y4, Y4       // tr
+	VMULPD       Y3, Y0, Y5
+	VMULPD       Y2, Y1, Y6
+	VADDPD       Y6, Y5, Y5       // ti
+	VMOVUPD      (DI)(R10*8), Y6  // ar
+	VMOVUPD      (SI)(R10*8), Y7  // ai
+	VADDPD       Y4, Y6, Y8
+	VADDPD       Y5, Y7, Y9
+	VSUBPD       Y4, Y6, Y10
+	VSUBPD       Y5, Y7, Y11
+	VMOVUPD      Y8, (DI)(R10*8)
+	VMOVUPD      Y9, (SI)(R10*8)
+	VMOVUPD      Y10, (DI)(R11*8)
+	VMOVUPD      Y11, (SI)(R11*8)
+	INCQ         AX
+	CMPQ         AX, BX
+	JLT          fftx4_bfly
+	LEAQ         (DX)(R12*2), DX  // base4 += 8*half
+	CMPQ         DX, CX
+	JLT          fftx4_block
+	VZEROUPPER
+	RET
+
+// func fftPermuteAsm(dst, src []float64, idx []int64)
+//
+// The bit-reversal gather: dst[i] = src[idx[i]], four elements per
+// VGATHERQPD. Pure data movement (the gather copies exact bit patterns).
+// len(idx) is a positive multiple of 4; dst and src are disjoint. The
+// all-ones gather mask is refreshed each iteration (VGATHERQPD consumes
+// it).
+TEXT ·fftPermuteAsm(SB), NOSPLIT, $0-72
+	MOVQ     dst_base+0(FP), DI
+	MOVQ     src_base+24(FP), SI
+	MOVQ     idx_base+48(FP), R8
+	MOVQ     idx_len+56(FP), CX
+	XORQ     DX, DX
+	VPCMPEQD Y2, Y2, Y2
+
+fftpermute_loop:
+	VMOVDQU    (R8)(DX*8), Y1
+	VMOVDQA    Y2, Y3
+	VGATHERQPD Y3, (SI)(Y1*8), Y0
+	VMOVUPD    Y0, (DI)(DX*8)
+	ADDQ       $4, DX
+	CMPQ       DX, CX
+	JLT        fftpermute_loop
+	VZEROUPPER
+	RET
+
+// func scaleCplxAsm(re, im []float64, s float64)
+//
+// The inverse-scale pass: a complex multiply by (s, 0) on planes,
+// re' = re*s - im*0, im' = re*0 + im*s, four elements per vector. The zero
+// products are kept so ±0/NaN/Inf propagate exactly as in the interleaved
+// x[i] *= complex(s, 0). len(re) is a positive multiple of 4.
+TEXT ·scaleCplxAsm(SB), NOSPLIT, $0-56
+	MOVQ         re_base+0(FP), DI
+	MOVQ         re_len+8(FP), CX
+	MOVQ         im_base+24(FP), SI
+	VBROADCASTSD s+48(FP), Y8
+	VXORPD       Y9, Y9, Y9    // +0.0
+	XORQ         DX, DX
+
+scalecplx_loop:
+	VMOVUPD (DI)(DX*8), Y0     // xr
+	VMOVUPD (SI)(DX*8), Y1     // xi
+	VMULPD  Y8, Y0, Y2         // xr*s
+	VMULPD  Y9, Y1, Y3         // xi*0
+	VSUBPD  Y3, Y2, Y2         // re' = xr*s - xi*0
+	VMULPD  Y9, Y0, Y4         // xr*0
+	VMULPD  Y8, Y1, Y5         // xi*s
+	VADDPD  Y5, Y4, Y4         // im' = xr*0 + xi*s
+	VMOVUPD Y2, (DI)(DX*8)
+	VMOVUPD Y4, (SI)(DX*8)
+	ADDQ    $4, DX
+	CMPQ    DX, CX
+	JLT     scalecplx_loop
+	VZEROUPPER
+	RET
+
+// func mulCplxAsm(ar, ai, br, bi []float64)
+//
+// Pointwise planar complex product a[i] *= b[i] in the compiler's lowering
+// order: re' = xr*yr - xi*yi, im' = xr*yi + xi*yr, four elements per
+// vector — the overlap-save spectral product. len(ar) is a positive
+// multiple of 4.
+TEXT ·mulCplxAsm(SB), NOSPLIT, $0-96
+	MOVQ ar_base+0(FP), DI
+	MOVQ ar_len+8(FP), CX
+	MOVQ ai_base+24(FP), SI
+	MOVQ br_base+48(FP), R8
+	MOVQ bi_base+72(FP), R9
+	XORQ DX, DX
+
+mulcplx_loop:
+	VMOVUPD (DI)(DX*8), Y0     // xr
+	VMOVUPD (SI)(DX*8), Y1     // xi
+	VMOVUPD (R8)(DX*8), Y2     // yr
+	VMOVUPD (R9)(DX*8), Y3     // yi
+	VMULPD  Y2, Y0, Y4         // xr*yr
+	VMULPD  Y3, Y1, Y5         // xi*yi
+	VSUBPD  Y5, Y4, Y4         // re'
+	VMULPD  Y3, Y0, Y5         // xr*yi
+	VMULPD  Y2, Y1, Y6         // xi*yr
+	VADDPD  Y6, Y5, Y5         // im'
+	VMOVUPD Y4, (DI)(DX*8)
+	VMOVUPD Y5, (SI)(DX*8)
+	ADDQ    $4, DX
+	CMPQ    DX, CX
+	JLT     mulcplx_loop
+	VZEROUPPER
+	RET

@@ -99,6 +99,40 @@ func interleaveAsm(x []complex128, re, im []float64)
 //go:noescape
 func deinterleaveAsm(re, im []float64, x []complex128)
 
+// fftStageAsm applies one butterfly stage, four butterflies per vector;
+// half must be a positive multiple of 4 and len(re) a positive multiple of
+// 2*half, with im/wr/wi sized as for FFTStage.
+//
+//go:noescape
+func fftStageAsm(re, im []float64, wr, wi []float64, half int)
+
+// fftStageX4Asm applies one lane-interleaved butterfly stage, one butterfly
+// of four independent transforms per vector; half must be positive and
+// len(re) a positive multiple of 8*half.
+//
+//go:noescape
+func fftStageX4Asm(re, im []float64, wr, wi []float64, half int)
+
+// fftPermuteAsm gathers len(idx) elements, four per vector; len(idx) must
+// be a positive multiple of 4, every index within src, and dst disjoint
+// from src.
+//
+//go:noescape
+func fftPermuteAsm(dst, src []float64, idx []int64)
+
+// scaleCplxAsm scales len(re) planar elements as a complex multiply by
+// (s, 0), four per vector; len(re) must be a positive multiple of 4 and im
+// at least as long.
+//
+//go:noescape
+func scaleCplxAsm(re, im []float64, s float64)
+
+// mulCplxAsm multiplies len(ar) planar elements pointwise, four per vector;
+// len(ar) must be a positive multiple of 4 and ai/br/bi at least as long.
+//
+//go:noescape
+func mulCplxAsm(ar, ai, br, bi []float64)
+
 //lint:hotpath
 func acsStepSIMD(next, metric *[64]float64, mA, mB float64) uint64 {
 	return acsStepAsm(next, metric, mA, mB)
@@ -202,5 +236,64 @@ func deinterleaveSIMD(re, im []float64, x []complex128) {
 	for i := q; i < len(x); i++ {
 		re[i] = real(x[i])
 		im[i] = imag(x[i])
+	}
+}
+
+//lint:hotpath
+func fftStageSIMD(re, im []float64, wr, wi []float64, half int) {
+	// The vector body packs four butterflies of one block per ymm, so it
+	// needs whole quads inside each block: the half < 4 stages (and any
+	// ragged shape) run the scalar twin outright — no per-block tails.
+	if half&3 != 0 || len(re) == 0 || len(re)%(2*half) != 0 {
+		fftStageGo(re, im, wr, wi, half)
+		return
+	}
+	fftStageAsm(re, im, wr, wi, half)
+}
+
+//lint:hotpath
+func fftStageX4SIMD(re, im []float64, wr, wi []float64, half int) {
+	if len(re) == 0 || len(re)%(8*half) != 0 {
+		fftStageX4Go(re, im, wr, wi, half)
+		return
+	}
+	fftStageX4Asm(re, im, wr, wi, half)
+}
+
+//lint:hotpath
+func fftPermuteSIMD(dst, src []float64, idx []int64) {
+	q := len(idx) &^ 3
+	if q > 0 {
+		fftPermuteAsm(dst, src, idx[:q])
+	}
+	for i := q; i < len(idx); i++ {
+		dst[i] = src[idx[i]]
+	}
+}
+
+//lint:hotpath
+func scaleCplxSIMD(re, im []float64, s float64) {
+	q := len(re) &^ 3
+	if q > 0 {
+		scaleCplxAsm(re[:q], im, s)
+	}
+	for i := q; i < len(re); i++ {
+		xr, xi := re[i], im[i]
+		re[i] = xr*s - xi*0
+		im[i] = xr*0 + xi*s
+	}
+}
+
+//lint:hotpath
+func mulCplxSIMD(ar, ai, br, bi []float64) {
+	q := len(ar) &^ 3
+	if q > 0 {
+		mulCplxAsm(ar[:q], ai, br, bi)
+	}
+	for i := q; i < len(ar); i++ {
+		xr, xi := ar[i], ai[i]
+		yr, yi := br[i], bi[i]
+		ar[i] = xr*yr - xi*yi
+		ai[i] = xr*yi + xi*yr
 	}
 }

@@ -61,3 +61,28 @@ func interleaveSIMD(x []complex128, re, im []float64) {
 func deinterleaveSIMD(re, im []float64, x []complex128) {
 	deinterleaveGo(re, im, x)
 }
+
+//lint:hotpath
+func fftStageSIMD(re, im []float64, wr, wi []float64, half int) {
+	fftStageGo(re, im, wr, wi, half)
+}
+
+//lint:hotpath
+func fftStageX4SIMD(re, im []float64, wr, wi []float64, half int) {
+	fftStageX4Go(re, im, wr, wi, half)
+}
+
+//lint:hotpath
+func fftPermuteSIMD(dst, src []float64, idx []int64) {
+	fftPermuteGo(dst, src, idx)
+}
+
+//lint:hotpath
+func scaleCplxSIMD(re, im []float64, s float64) {
+	scaleCplxGo(re, im, s)
+}
+
+//lint:hotpath
+func mulCplxSIMD(ar, ai, br, bi []float64) {
+	mulCplxGo(ar, ai, br, bi)
+}

@@ -286,34 +286,60 @@ func DemapSoftAppend(dst []float64, symbols []complex128, m Modulation, csi []fl
 		for _, v := range b {
 			bMin = min(bMin, v)
 		}
-		for j := 0; j < t.bitsI; j++ {
-			d0, d1 := math.Inf(1), math.Inf(1)
-			for k, v := range a {
-				if (k>>j)&1 == 0 {
-					d0 = min(d0, v)
-				} else {
-					d1 = min(d1, v)
-				}
-			}
-			d0, d1 = d0+bMin, d1+bMin
-			// LLR ~ (d1 - d0): positive when the nearest bit-0 point is
-			// closer than the nearest bit-1 point.
-			dst = append(dst, w*(d1-d0))
-		}
-		for j := 0; j < t.bitsQ; j++ {
-			d0, d1 := math.Inf(1), math.Inf(1)
-			for q, v := range b {
-				if (q>>j)&1 == 0 {
-					d0 = min(d0, v)
-				} else {
-					d1 = min(d1, v)
-				}
-			}
-			d0, d1 = aMin+d0, aMin+d1
-			dst = append(dst, w*(d1-d0))
-		}
+		// LLR ~ (d1 - d0): positive when the nearest bit-0 point is
+		// closer than the nearest bit-1 point.
+		dst = demapAxisSoft(dst, a, t.bitsI, bMin, w)
+		dst = demapAxisSoft(dst, b, t.bitsQ, aMin, w)
 	}
 	return dst, nil
+}
+
+// demapAxisSoft appends one axis group's max-log metrics: for each of the
+// axis's bits, the partition minima over the bit-0/bit-1 coordinates, offset
+// by the other axis's unconstrained minimum. The clause-17 axis sizes (2, 4,
+// 8 coordinates for 1, 2, 3 bits) are unrolled into fixed pairwise min
+// trees; min is associative and commutative on this value class (squared
+// distances are never -0, and an axis is either NaN-free or all NaN — see
+// DemapSoftAppend), so each tree yields the partition scan's exact minimum,
+// and IEEE addition's commutativity makes the shared other+min offset
+// bit-identical on both axes. Unlisted widths fall back to the reference's
+// partition scan verbatim.
+func demapAxisSoft(dst []float64, d []float64, bits int, other, w float64) []float64 {
+	switch bits {
+	case 1:
+		t0, t1 := d[0]+other, d[1]+other
+		return append(dst, w*(t1-t0))
+	case 2:
+		d = d[:4]
+		m02, m13 := min(d[0], d[2]), min(d[1], d[3]) // bit 0: even vs odd
+		m01, m23 := min(d[0], d[1]), min(d[2], d[3]) // bit 1: low vs high pair
+		t0, t1 := m02+other, m13+other
+		u0, u1 := m01+other, m23+other
+		return append(dst, w*(t1-t0), w*(u1-u0))
+	case 3:
+		d = d[:8]
+		e02, e13 := min(d[0], d[2]), min(d[1], d[3])
+		e46, e57 := min(d[4], d[6]), min(d[5], d[7])
+		t0, t1 := min(e02, e46)+other, min(e13, e57)+other // bit 0
+		m01, m23 := min(d[0], d[1]), min(d[2], d[3])
+		m45, m67 := min(d[4], d[5]), min(d[6], d[7])
+		u0, u1 := min(m01, m45)+other, min(m23, m67)+other // bit 1
+		v0, v1 := min(m01, m23)+other, min(m45, m67)+other // bit 2
+		return append(dst, w*(t1-t0), w*(u1-u0), w*(v1-v0))
+	}
+	for j := 0; j < bits; j++ {
+		d0, d1 := math.Inf(1), math.Inf(1)
+		for k, v := range d {
+			if (k>>j)&1 == 0 {
+				d0 = min(d0, v)
+			} else {
+				d1 = min(d1, v)
+			}
+		}
+		d0, d1 = d0+other, d1+other
+		dst = append(dst, w*(d1-d0))
+	}
+	return dst
 }
 
 func sqDist(a, b complex128) float64 {

@@ -73,8 +73,23 @@ func PunctureAppend(dst, coded []byte, rate CodeRate) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, b := range coded {
-		if keep[i%len(keep)] {
+	if rate == Rate1_2 {
+		// Rate 1/2 keeps every bit; the period scan would be a byte-wise copy.
+		return append(dst, coded...), nil
+	}
+	// Walk whole puncturing periods so the keep index needs no modulo.
+	P := len(keep)
+	full := len(coded) / P * P
+	for s := 0; s < full; s += P {
+		period := coded[s : s+P]
+		for j, k := range keep {
+			if k {
+				dst = append(dst, period[j])
+			}
+		}
+	}
+	for j, b := range coded[full:] {
+		if keep[j] {
 			dst = append(dst, b)
 		}
 	}

@@ -57,3 +57,33 @@ func BenchmarkModulateSymbol(b *testing.B) {
 		}
 	}
 }
+
+// benchSymbolTrain builds nsym valid OFDM DATA symbols back to back.
+func benchSymbolTrain(tb testing.TB, nsym int) [][]complex128 {
+	tb.Helper()
+	sym := benchSymbol(tb)
+	train := make([][]complex128, nsym)
+	for i := range train {
+		s := make([]complex128, len(sym))
+		copy(s, sym)
+		train[i] = s
+	}
+	return train
+}
+
+func BenchmarkDemodulateSymbols(b *testing.B) {
+	const nsym = 32
+	train := benchSymbolTrain(b, nsym)
+	dst := make([][]complex128, nsym)
+	for i := range dst {
+		dst[i] = make([]complex128, FFTSize)
+	}
+	b.ReportAllocs()
+	b.SetBytes(nsym * SymbolLen * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DemodulateSymbols(dst, train); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

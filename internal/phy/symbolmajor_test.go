@@ -1,0 +1,115 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wlansim/internal/kernels"
+)
+
+// symMajorRestore reverts the symbol-major toggle and kernel dispatch when
+// the test ends.
+func symMajorRestore(t *testing.T) {
+	t.Helper()
+	prevSM := SymbolMajorEnabled()
+	prevSIMD := kernels.DispatchName() != "purego"
+	t.Cleanup(func() {
+		SetSymbolMajor(prevSM)
+		kernels.SetDispatch(prevSIMD)
+	})
+}
+
+func complexSlicesBitEqual(t *testing.T, ctx string, got, want []complex128) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(real(got[i])) != math.Float64bits(real(want[i])) ||
+			math.Float64bits(imag(got[i])) != math.Float64bits(imag(want[i])) {
+			t.Fatalf("%s: sample %d: %v != %v", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestSymbolMajorTransmitBitExact pins the symbol-major transmitter against
+// the per-symbol path: the complete PPDU waveform must be byte-identical for
+// every rate, under both kernel dispatch tiers.
+func TestSymbolMajorTransmitBitExact(t *testing.T) {
+	symMajorRestore(t)
+	rng := rand.New(rand.NewSource(71))
+	psdu := make([]byte, 300)
+	rng.Read(psdu)
+	for _, simd := range []bool{true, false} {
+		kernels.SetDispatch(simd)
+		for _, rate := range []int{6, 9, 12, 18, 24, 36, 48, 54} {
+			tx, err := NewTransmitter(rate)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetSymbolMajor(true)
+			on, err := tx.Transmit(psdu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SetSymbolMajor(false)
+			off, err := tx.Transmit(psdu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			complexSlicesBitEqual(t, "waveform", on.Samples, off.Samples)
+		}
+	}
+}
+
+// TestSymbolMajorModDemodBitExact pins the batched mod/demod primitives
+// against their per-symbol forms on random spectra and symbols, including
+// batch sizes around the four-lane grouping boundary, under both tiers.
+func TestSymbolMajorModDemodBitExact(t *testing.T) {
+	symMajorRestore(t)
+	rng := rand.New(rand.NewSource(72))
+	for _, simd := range []bool{true, false} {
+		kernels.SetDispatch(simd)
+		for _, nSym := range []int{1, 3, 4, 5, 8, 9} {
+			specs := make([][]complex128, nSym)
+			for n := range specs {
+				specs[n] = make([]complex128, FFTSize)
+				for i := range specs[n] {
+					specs[n][i] = complex(rng.NormFloat64(), rng.NormFloat64())
+				}
+			}
+
+			batch, _, err := ModulateSymbolsAppend(nil, specs, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var seq []complex128
+			for _, spec := range specs {
+				seq, err = ModulateSymbolAppend(seq, spec)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			complexSlicesBitEqual(t, "modulate", batch, seq)
+
+			// Demodulate the batch waveform both ways.
+			syms := make([][]complex128, nSym)
+			dst := make([][]complex128, nSym)
+			for n := range syms {
+				syms[n] = batch[n*SymbolLen : (n+1)*SymbolLen]
+				dst[n] = make([]complex128, FFTSize)
+			}
+			if err := DemodulateSymbols(dst, syms); err != nil {
+				t.Fatal(err)
+			}
+			for n := range syms {
+				want, err := DemodulateSymbol(syms[n])
+				if err != nil {
+					t.Fatal(err)
+				}
+				complexSlicesBitEqual(t, "demodulate", dst[n], want)
+			}
+		}
+	}
+}

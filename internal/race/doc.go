@@ -1,0 +1,11 @@
+// Package race exposes whether the Go race detector is enabled in this
+// build, mirroring the standard library's internal/race flag.
+//
+// Its one consumer class is the steady-state allocation gates: under the
+// race detector, sync.Pool intentionally drops a fraction of Puts (to shake
+// out lifetime races), so code whose hot path is allocation-free through a
+// warm pool — the planar FFT scratch, most prominently — observes spurious
+// allocations in testing.AllocsPerRun. Those gates skip under -race with an
+// explicit message; scripts/check.sh runs them again without the race
+// detector, where the zero-allocation contract is enforced for real.
+package race

@@ -40,9 +40,16 @@ func (s *fibSource) Int63() int64 {
 	return int64(s.Uint64() &^ (1 << 63))
 }
 
-// Seed restores the cached post-seeding register for seed, bit-identical to
-// rngSource.Seed.
+// Seed reproduces rngSource.Seed's post-seeding register bit for bit. The
+// arithmetic reseed computes it directly (no per-seed cache), so arbitrary
+// derived seeds — the per-packet stage seeds — reseed in a few microseconds
+// without pinning snapshots; the snapshot cache remains as the fallback when
+// the reseed self-check failed.
 func (s *fibSource) Seed(seed int64) {
+	if reseedOK {
+		s.reseed(seed)
+		return
+	}
 	st := snapshotFor(seed)
 	if st == nil {
 		// Unreachable by construction: a fibSource is only built after the

@@ -15,8 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"math/rand"
 
+	"wlansim/internal/kernels"
 	"wlansim/internal/randutil"
 	"wlansim/internal/units"
 )
@@ -93,9 +93,9 @@ type Amplifier struct {
 	c3    float64 // cubic coefficient (positive; applied as -c3|x|^2 x)
 	aSat  float64 // envelope clamp (Cubic) or Rapp saturation amplitude
 	aCrit float64 // input envelope where the cubic peaks (Cubic only)
-	noise *rand.Rand
-	nrst  *randutil.Restarter
-	nsig  float64 // per-dimension noise sigma at the input
+	noise *randutil.Rand
+	nsig  float64     // per-dimension noise sigma at the input
+	nv    kernels.Vec // frame-pass noise plane scratch
 }
 
 // NewAmplifier validates the configuration and builds the model.
@@ -140,11 +140,10 @@ func NewAmplifier(cfg AmplifierConfig) (*Amplifier, error) {
 		f := units.DBToLinear(cfg.NoiseFigureDB)
 		np := units.Boltzmann * units.RoomTemperature * cfg.SampleRateHz * (f - 1)
 		a.nsig = math.Sqrt(np / 2)
-		// The noise seed is a fixed per-block constant, so the snapshot-cached
-		// constructor avoids re-running math/rand's seeding pass every time a
-		// sweep point rebuilds the receiver.
-		a.noise = randutil.NewRand(cfg.NoiseSeed)
-		a.nrst = randutil.New(a.noise, cfg.NoiseSeed)
+		// Concrete generator: the thermal-noise draws sit in the per-sample
+		// amplifier loop, and the devirtualized ziggurat keeps the register
+		// step inlined.
+		a.noise = randutil.NewRandDirect(cfg.NoiseSeed)
 	}
 	return a, nil
 }
@@ -152,12 +151,12 @@ func NewAmplifier(cfg AmplifierConfig) (*Amplifier, error) {
 // Config returns the amplifier configuration.
 func (a *Amplifier) Config() AmplifierConfig { return a.cfg }
 
-// Reset restarts the noise source (memoryless otherwise). Restoring the
-// generator snapshot restarts the identical noise stream without re-running
+// Reset restarts the noise source (memoryless otherwise). Rewinding to the
+// construction mark restarts the identical noise stream without re-running
 // the seeding procedure.
 func (a *Amplifier) Reset() {
 	if a.noise != nil {
-		a.nrst.Restart()
+		a.noise.Rewind()
 	}
 }
 
@@ -223,10 +222,29 @@ func (a *Amplifier) applyAMPM(y complex128, inAmp float64) complex128 {
 
 // Process amplifies a frame in place and returns it.
 //
+// The noisy path materializes the frame's thermal-noise draws into planes
+// first and then runs the deterministic nonlinearity — the same split the
+// batched front end uses. It is bit-exact against a ProcessSample loop: the
+// draws come from a single generator in the identical re,im-per-sample order,
+// and scale-then-add performs the same two rounding steps per component.
+//
 //lint:hotpath
 func (a *Amplifier) Process(x []complex128) []complex128 {
+	if a.noise == nil || len(x) == 0 {
+		for i, v := range x {
+			x[i] = a.amplify(v)
+		}
+		return x
+	}
+	n := len(x)
+	//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
+	a.nv.Grow(n)
+	nre, nim := a.nv.Re, a.nv.Im
+	a.noise.FillNormPairs(nre, nim)
+	kernels.ScalePlane(nre, a.nsig)
+	kernels.ScalePlane(nim, a.nsig)
 	for i, v := range x {
-		x[i] = a.ProcessSample(v)
+		x[i] = a.amplify(v + complex(nre[i], nim[i]))
 	}
 	return x
 }

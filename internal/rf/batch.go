@@ -5,7 +5,6 @@ import (
 
 	"wlansim/internal/dsp"
 	"wlansim/internal/kernels"
-	"wlansim/internal/randutil"
 	"wlansim/internal/units"
 )
 
@@ -144,7 +143,7 @@ func (a *Amplifier) processBatch(lanes [][]complex128, nre, nim []float64) {
 	}
 	n := len(lanes[0])
 	nre, nim = nre[:n], nim[:n]
-	randutil.FillNormPairs(a.noise, nre, nim)
+	a.noise.FillNormPairs(nre, nim)
 	kernels.ScalePlane(nre, a.nsig)
 	kernels.ScalePlane(nim, a.nsig)
 	for _, lane := range lanes {
@@ -166,7 +165,7 @@ func (m *Mixer) processBatchPlanar(xr, xi [][]float64, nre, nim []float64) {
 	L := len(xr)
 	if m.noise != nil {
 		nre, nim = nre[:n], nim[:n]
-		randutil.FillNormPairs(m.noise, nre, nim)
+		m.noise.FillNormPairs(nre, nim)
 		kernels.ScalePlane(nre, m.nsig)
 		kernels.ScalePlane(nim, m.nsig)
 		for l := 0; l < L; l++ {
@@ -178,8 +177,12 @@ func (m *Mixer) processBatchPlanar(xr, xi [][]float64, nre, nim []float64) {
 	nur, nui := real(m.nu), imag(m.nu)
 	dcr, dci := real(m.dc), imag(m.dc)
 	if m.lo != nil {
-		m.lov.Grow(n)
-		m.lo.fill(m.lov.Re, m.lov.Im)
+		if m.loFilled && m.lov.Len() == n {
+			m.loFilled = false
+		} else {
+			m.lov.Grow(n)
+			m.lo.fill(m.lov.Re, m.lov.Im)
+		}
 		kernels.MixApplyLOBatch(xr, xi, m.lov.Re, m.lov.Im,
 			mur, mui, nur, nui, m.g, dcr, dci)
 	} else {
@@ -281,6 +284,7 @@ func (b *BatchReceiver) Process(lanes [][]complex128) [][]complex128 {
 	}
 
 	b.rx.lna.processBatch(lanes, b.nre, b.nim)
+	prefillLOPair(b.rx.mixer1, b.rx.mixer2, n)
 
 	// The mixer/filter segment runs planar end to end: one conversion in,
 	// one out, with the noise adds, LO mixing, and biquad cascades all

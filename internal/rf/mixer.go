@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"math/rand"
 
 	"wlansim/internal/kernels"
 	"wlansim/internal/randutil"
@@ -32,10 +31,10 @@ type LO struct {
 	phase  float64
 	step   float64
 	sigma  float64
-	rng    *rand.Rand
-	rst    *randutil.Restarter
+	rng    *randutil.Rand
 	phasor complex128 // e^{j phase}, advanced incrementally
 	renorm int        // samples since the last exact resync
+	dv     []float64  // frame-fill phase-increment scratch
 
 	// table holds the one-period phasor table used by frame fills when the
 	// oscillator is noiseless and its offset/sample-rate ratio is rational
@@ -82,8 +81,9 @@ func NewLO(cfg LOConfig) (*LO, error) {
 		lo.step = 2 * math.Pi * cfg.FrequencyOffsetHz / cfg.SampleRateHz
 		lo.sigma = math.Sqrt(2 * math.Pi * cfg.LinewidthHz / cfg.SampleRateHz)
 	}
-	lo.rng = randutil.NewRand(cfg.Seed) // fixed seed: snapshot-cached construction
-	lo.rst = randutil.New(lo.rng, cfg.Seed)
+	// Concrete generator: the phase-noise draw sits in the per-sample mixing
+	// loop, and the devirtualized ziggurat keeps the register step inlined.
+	lo.rng = randutil.NewRandDirect(cfg.Seed)
 	lo.phasor = 1
 	if lo.sigma == 0 && cfg.SampleRateHz > 0 {
 		if k, n, ok := rationalLORatio(cfg.FrequencyOffsetHz, cfg.SampleRateHz); ok {
@@ -154,21 +154,121 @@ func (l *LO) fill(re, im []float64) {
 		l.renorm = 0
 		return
 	}
-	for i := range re {
-		v := l.Next()
-		re[i] = real(v)
-		im[i] = imag(v)
+	// Split the fill into a draw pass and a rotation pass: the ziggurat loop
+	// runs without the phase recurrence interleaved, and the recurrence runs
+	// with its state in registers. The increments are the exact values Next
+	// would compute (step + draw*sigma, draws in sample order from the same
+	// generator), and the rotation pass performs Next's phase/renorm updates,
+	// so streaming and frame fills draw one trajectory.
+	l.fillIncrements(len(re))
+	l.rotateIncrements(re, im)
+}
+
+// fillIncrements materializes the next n per-sample phase increments into
+// l.dv: step + draw*sigma with the draws in sample order (or the constant
+// step for a noiseless oscillator, which consumes no draws — exactly as
+// Next's sigma guard).
+//
+//lint:hotpath
+func (l *LO) fillIncrements(n int) {
+	if cap(l.dv) < n {
+		//lint:ignore escape first-use phase-increment plane, reused afterwards
+		l.dv = make([]float64, n)
+	}
+	d := l.dv[:n]
+	if l.sigma > 0 {
+		l.rng.FillNormMulAdd(d, l.sigma, l.step)
+		return
+	}
+	for i := range d {
+		d[i] = l.step
 	}
 }
 
-// Reset restarts the phase trajectory. Restoring the generator snapshot
+// rotateIncrements runs Next's phase recurrence over the materialized
+// increments, emitting the pre-update phasor per sample.
+//
+//lint:hotpath
+func (l *LO) rotateIncrements(re, im []float64) {
+	d := l.dv[:len(re)]
+	phase, phasor, renorm := l.phase, l.phasor, l.renorm
+	for i := range re {
+		re[i] = real(phasor)
+		im[i] = imag(phasor)
+		di := d[i]
+		phase += di
+		if phase > math.Pi || phase < -math.Pi {
+			phase = math.Mod(phase, 2*math.Pi)
+		}
+		renorm++
+		if di > smallAngleMax || di < -smallAngleMax || renorm >= loRenormInterval {
+			s, c := math.Sincos(phase)
+			phasor = complex(c, s)
+			renorm = 0
+		} else {
+			phasor *= rotateSmall(di)
+		}
+	}
+	l.phase, l.phasor, l.renorm = phase, phasor, renorm
+}
+
+// rotateIncrementsPair advances two independent oscillators' recurrences in
+// one interleaved loop. Each chain performs exactly its rotateIncrements
+// arithmetic on its own state — the interleave only overlaps the two serial
+// phasor-multiply dependency chains, which bound the one-at-a-time pass.
+//
+//lint:hotpath
+func rotateIncrementsPair(l1 *LO, re1, im1 []float64, l2 *LO, re2, im2 []float64) {
+	d1 := l1.dv[:len(re1)]
+	d2 := l2.dv[:len(re1)]
+	re2 = re2[:len(re1)]
+	im2 = im2[:len(re1)]
+	p1, v1, r1 := l1.phase, l1.phasor, l1.renorm
+	p2, v2, r2 := l2.phase, l2.phasor, l2.renorm
+	for i := range re1 {
+		re1[i] = real(v1)
+		im1[i] = imag(v1)
+		re2[i] = real(v2)
+		im2[i] = imag(v2)
+		da := d1[i]
+		db := d2[i]
+		p1 += da
+		p2 += db
+		if p1 > math.Pi || p1 < -math.Pi {
+			p1 = math.Mod(p1, 2*math.Pi)
+		}
+		if p2 > math.Pi || p2 < -math.Pi {
+			p2 = math.Mod(p2, 2*math.Pi)
+		}
+		r1++
+		r2++
+		if da > smallAngleMax || da < -smallAngleMax || r1 >= loRenormInterval {
+			s, c := math.Sincos(p1)
+			v1 = complex(c, s)
+			r1 = 0
+		} else {
+			v1 *= rotateSmall(da)
+		}
+		if db > smallAngleMax || db < -smallAngleMax || r2 >= loRenormInterval {
+			s, c := math.Sincos(p2)
+			v2 = complex(c, s)
+			r2 = 0
+		} else {
+			v2 *= rotateSmall(db)
+		}
+	}
+	l1.phase, l1.phasor, l1.renorm = p1, v1, r1
+	l2.phase, l2.phasor, l2.renorm = p2, v2, r2
+}
+
+// Reset restarts the phase trajectory. Rewinding to the construction mark
 // restarts the identical phase-noise stream without re-running the seeding
 // procedure.
 func (l *LO) Reset() {
 	l.phase = 0
 	l.phasor = 1
 	l.renorm = 0
-	l.rst.Restart()
+	l.rng.Rewind()
 	if l.table != nil {
 		l.table.Reset()
 	}
@@ -213,11 +313,11 @@ type Mixer struct {
 	mu    complex128 // direct I/Q term
 	nu    complex128 // image (conjugate) term
 	dc    complex128
-	noise *rand.Rand
-	nrst  *randutil.Restarter
+	noise *randutil.Rand
 	nsig  float64
 
-	xv, lov kernels.Vec // planar frame and LO-trajectory scratch
+	xv, lov, nv kernels.Vec // planar frame, LO-trajectory and noise scratch
+	loFilled    bool        // lov already holds this frame's trajectory (pair prefill)
 }
 
 // NewMixer validates the configuration and builds the model.
@@ -254,8 +354,7 @@ func NewMixer(cfg MixerConfig) (*Mixer, error) {
 		f := units.DBToLinear(cfg.NoiseFigureDB)
 		np := units.Boltzmann * units.RoomTemperature * cfg.SampleRateHz * (f - 1)
 		m.nsig = math.Sqrt(np / 2)
-		m.noise = randutil.NewRand(cfg.NoiseSeed) // fixed seed: snapshot-cached construction
-		m.nrst = randutil.New(m.noise, cfg.NoiseSeed)
+		m.noise = randutil.NewRandDirect(cfg.NoiseSeed)
 	}
 	return m, nil
 }
@@ -275,11 +374,12 @@ func (m *Mixer) ImageRejectionDB() float64 {
 
 // Reset restarts the LO and noise source.
 func (m *Mixer) Reset() {
+	m.loFilled = false
 	if m.lo != nil {
 		m.lo.Reset()
 	}
 	if m.noise != nil {
-		m.nrst.Restart()
+		m.noise.Rewind()
 	}
 }
 
@@ -314,24 +414,70 @@ func (m *Mixer) Process(x []complex128) []complex128 {
 	if len(x) == 0 {
 		return x
 	}
-	if m.noise != nil {
-		for i := range x {
-			x[i] += complex(m.noise.NormFloat64()*m.nsig, m.noise.NormFloat64()*m.nsig)
-		}
-	}
 	m.xv.From(x)
+	m.processPlanar(m.xv.Re, m.xv.Im)
+	m.xv.CopyTo(x)
+	return x
+}
+
+// processPlanar mixes one planar frame in place. It is the single-lane core
+// shared by Process and the receiver's fused planar segment: noise plane
+// materialized and added component-wise (the same scale-then-add float ops
+// the per-sample path performs), LO trajectory filled once, then the planar
+// mixer kernel.
+//
+//lint:hotpath
+func (m *Mixer) processPlanar(xr, xi []float64) {
+	n := len(xr)
+	if n == 0 {
+		return
+	}
+	if m.noise != nil {
+		//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
+		m.nv.Grow(n)
+		nre, nim := m.nv.Re, m.nv.Im
+		m.noise.FillNormPairs(nre, nim)
+		kernels.ScalePlane(nre, m.nsig)
+		kernels.ScalePlane(nim, m.nsig)
+		kernels.AddPlane(xr, nre)
+		kernels.AddPlane(xi, nim)
+	}
 	mur, mui := real(m.mu), imag(m.mu)
 	nur, nui := real(m.nu), imag(m.nu)
 	dcr, dci := real(m.dc), imag(m.dc)
 	if m.lo != nil {
-		//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
-		m.lov.Grow(len(x))
-		m.lo.fill(m.lov.Re, m.lov.Im)
-		kernels.MixApplyLO(m.xv.Re, m.xv.Im, m.lov.Re, m.lov.Im,
+		if m.loFilled && m.lov.Len() == n {
+			m.loFilled = false
+		} else {
+			//lint:ignore escape inlined Vec grow: first-use plane allocation, reused afterwards
+			m.lov.Grow(n)
+			m.lo.fill(m.lov.Re, m.lov.Im)
+		}
+		kernels.MixApplyLO(xr, xi, m.lov.Re, m.lov.Im,
 			mur, mui, nur, nui, m.g, dcr, dci)
 	} else {
-		kernels.MixApply(m.xv.Re, m.xv.Im, mur, mui, nur, nui, m.g, dcr, dci)
+		kernels.MixApply(xr, xi, mur, mui, nur, nui, m.g, dcr, dci)
 	}
-	m.xv.CopyTo(x)
-	return x
+}
+
+// prefillLOPair fills both mixers' LO trajectory planes for an n-sample
+// frame in one interleaved rotation pass (see rotateIncrementsPair), marking
+// them consumed-once for the following processPlanar calls. It applies only
+// when both oscillators run the increment recurrence; table-driven and
+// absent LOs keep their own fills.
+func prefillLOPair(m1, m2 *Mixer, n int) {
+	if n == 0 || m1 == nil || m2 == nil {
+		return
+	}
+	l1, l2 := m1.lo, m2.lo
+	if l1 == nil || l2 == nil || l1.table != nil || l2.table != nil {
+		return
+	}
+	m1.lov.Grow(n)
+	m2.lov.Grow(n)
+	l1.fillIncrements(n)
+	l2.fillIncrements(n)
+	rotateIncrementsPair(l1, m1.lov.Re, m1.lov.Im, l2, m2.lov.Re, m2.lov.Im)
+	m1.loFilled = true
+	m2.loFilled = true
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"wlansim/internal/dsp"
+	"wlansim/internal/kernels"
 )
 
 // FrequencyPlan documents the double-conversion architecture of the paper
@@ -109,6 +110,7 @@ type Receiver struct {
 	adc     *ADC
 	decim   *dsp.Downsampler
 	out     []complex128 // decimator output, reused across packets
+	xv      kernels.Vec  // planar scratch for the fused mixer/filter segment
 }
 
 // NewReceiver validates the configuration and assembles the front end.
@@ -212,13 +214,27 @@ func (r *Receiver) Process(x []complex128) []complex128 {
 // channel filter or later blocks (e.g. the Fig. 5 passband-edge sweep) cache
 // this invariant, deterministic prefix per packet and replay only
 // ProcessFromFilter per sweep point. Call Reset first, as with Process.
+// The mixer/filter segment runs planar end to end: one deinterleave in, one
+// interleave out, with the noise adds, LO mixing and DC-block biquads all
+// working the same planes. The conversions are pure data movement and every
+// planar block is the bit-exact twin of its interleaved form, so the fused
+// segment produces the byte-identical waveform of the block-by-block chain.
 func (r *Receiver) ProcessToFilter(x []complex128) []complex128 {
 	x = r.lna.Process(x)
-	x = r.mixer1.Process(x)
-	if r.dcBlock != nil {
-		x = r.dcBlock.Process(x)
+	if len(x) == 0 {
+		return x
 	}
-	return r.mixer2.Process(x)
+	r.xv.From(x)
+	// Both oscillators' trajectories are data-independent; filling them in
+	// one interleaved pass overlaps the two serial rotation chains.
+	prefillLOPair(r.mixer1, r.mixer2, len(x))
+	r.mixer1.processPlanar(r.xv.Re, r.xv.Im)
+	if r.dcBlock != nil {
+		r.dcBlock.ProcessPlanar(r.xv.Re, r.xv.Im)
+	}
+	r.mixer2.processPlanar(r.xv.Re, r.xv.Im)
+	r.xv.CopyTo(x)
+	return x
 }
 
 // ProcessFromFilter runs the remainder of the chain — channel-select filter,

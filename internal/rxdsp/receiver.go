@@ -124,6 +124,15 @@ func (q *eqScratch) equalize(out []complex128, csi []float64, sym []complex128, 
 		return err
 	}
 	q.spec = spec
+	return q.equalizeSpec(out, csi, spec, est, symbolIndex, mmseReg)
+}
+
+// equalizeSpec is the post-FFT half of equalize, operating on an already
+// demodulated 64-bin spectrum — the entry point of the symbol-major receive
+// path, which demodulates the whole DATA field in one batched pass first.
+//
+//lint:hotpath
+func (q *eqScratch) equalizeSpec(out []complex128, csi []float64, spec []complex128, est *ChannelEstimate, symbolIndex int, mmseReg float64) error {
 	// Pilot-aided common phase error: compare received pilots against
 	// expected pilots through the channel.
 	pilots, err := phy.ExtractPilotsInto(q.pilots, spec)
@@ -252,6 +261,9 @@ type Receiver struct {
 	csis     [][]float64
 	carrBack []complex128
 	carriers [][]complex128
+	specBack []complex128
+	specs    [][]complex128
+	symViews [][]complex128
 	res      PacketResult
 	dec      *phy.PacketDecoder
 }
@@ -271,6 +283,33 @@ func (r *Receiver) Reset() {
 // dcNotchCutoff is the digital DC-removal corner as a fraction of the
 // sample rate (40 kHz at 20 MHz — far below the first subcarrier).
 const dcNotchCutoff = 0.002
+
+// growSpecSlices sizes the symbol-major scratch: nSym per-symbol spectrum
+// buffers carved out of one backing store, plus the matching symbol-view
+// slice header scratch.
+func growSpecSlices(back *[]complex128, specs, views *[][]complex128, nSym int) ([][]complex128, [][]complex128) {
+	if cap(*back) < nSym*phy.FFTSize {
+		*back = make([]complex128, nSym*phy.FFTSize)
+	}
+	if cap(*specs) < nSym {
+		*specs = make([][]complex128, nSym)
+	}
+	if cap(*views) < nSym {
+		*views = make([][]complex128, nSym)
+	}
+	b := (*back)[:nSym*phy.FFTSize]
+	s := (*specs)[:nSym]
+	for n := 0; n < nSym; n++ {
+		s[n] = b[n*phy.FFTSize : (n+1)*phy.FFTSize]
+	}
+	return s, (*views)[:nSym]
+}
+
+// growSpecs returns the receiver's symbol-major spectrum and symbol-view
+// scratch sized for nSym DATA symbols.
+func (r *Receiver) growSpecs(nSym int) ([][]complex128, [][]complex128) {
+	return growSpecSlices(&r.specBack, &r.specs, &r.symViews, nSym)
+}
 
 // Receive synchronizes to and decodes the first packet at or after index
 // from in the 20 MHz baseband signal x.
@@ -395,12 +434,33 @@ func (r *Receiver) Receive(x []complex128, from int) (*PacketResult, error) {
 		r.csis = make([][]float64, nSym)
 	}
 	csis := r.csis[:nSym]
-	for n := 0; n < nSym; n++ {
-		carriers[n] = carrBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
-		csis[n] = r.csiBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
-		s := dataStart + n*phy.SymbolLen
-		if err := r.q.equalize(carriers[n], csis[n], work[s:s+phy.SymbolLen], est, n+1, mmseReg); err != nil {
+	if phy.SymbolMajorEnabled() {
+		// Symbol-major: slice every DATA symbol, demodulate the whole field
+		// through the batched four-lane forward transform, then equalize each
+		// spectrum. Byte-identical to the per-symbol branch below.
+		specs, symViews := r.growSpecs(nSym)
+		for n := 0; n < nSym; n++ {
+			s := dataStart + n*phy.SymbolLen
+			symViews[n] = work[s : s+phy.SymbolLen]
+		}
+		if err := phy.DemodulateSymbols(specs, symViews); err != nil {
 			return nil, err
+		}
+		for n := 0; n < nSym; n++ {
+			carriers[n] = carrBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
+			csis[n] = r.csiBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
+			if err := r.q.equalizeSpec(carriers[n], csis[n], specs[n], est, n+1, mmseReg); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for n := 0; n < nSym; n++ {
+			carriers[n] = carrBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
+			csis[n] = r.csiBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
+			s := dataStart + n*phy.SymbolLen
+			if err := r.q.equalize(carriers[n], csis[n], work[s:s+phy.SymbolLen], est, n+1, mmseReg); err != nil {
+				return nil, err
+			}
 		}
 	}
 	var csiArg [][]float64
@@ -463,8 +523,17 @@ type IdealReceiver struct {
 	csis     [][]float64
 	carrBack []complex128
 	carriers [][]complex128
+	specBack []complex128
+	specs    [][]complex128
+	symViews [][]complex128
 	res      PacketResult
 	dec      *phy.PacketDecoder
+}
+
+// growSpecs returns the receiver's symbol-major spectrum and symbol-view
+// scratch sized for nSym DATA symbols.
+func (r *IdealReceiver) growSpecs(nSym int) ([][]complex128, [][]complex128) {
+	return growSpecSlices(&r.specBack, &r.specs, &r.symViews, nSym)
 }
 
 // Receive decodes the frame whose short preamble begins exactly at start.
@@ -514,12 +583,32 @@ func (r *IdealReceiver) Receive(x []complex128, start int) (*PacketResult, error
 		r.csis = make([][]float64, nSym)
 	}
 	csis := r.csis[:nSym]
-	for n := 0; n < nSym; n++ {
-		carriers[n] = carrBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
-		csis[n] = r.csiBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
-		s := dataStart + n*phy.SymbolLen
-		if err := r.q.equalize(carriers[n], csis[n], work[s:s+phy.SymbolLen], est, n+1, 0); err != nil {
+	if phy.SymbolMajorEnabled() {
+		// Symbol-major: batched demodulation of the whole DATA field, then
+		// per-spectrum equalization. Byte-identical to the branch below.
+		specs, symViews := r.growSpecs(nSym)
+		for n := 0; n < nSym; n++ {
+			s := dataStart + n*phy.SymbolLen
+			symViews[n] = work[s : s+phy.SymbolLen]
+		}
+		if err := phy.DemodulateSymbols(specs, symViews); err != nil {
 			return nil, err
+		}
+		for n := 0; n < nSym; n++ {
+			carriers[n] = carrBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
+			csis[n] = r.csiBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
+			if err := r.q.equalizeSpec(carriers[n], csis[n], specs[n], est, n+1, 0); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for n := 0; n < nSym; n++ {
+			carriers[n] = carrBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
+			csis[n] = r.csiBack[n*phy.NumDataCarriers : (n+1)*phy.NumDataCarriers]
+			s := dataStart + n*phy.SymbolLen
+			if err := r.q.equalize(carriers[n], csis[n], work[s:s+phy.SymbolLen], est, n+1, 0); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if r.dec == nil {

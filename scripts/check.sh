@@ -43,9 +43,9 @@ go test -race ./...
 # empty run.
 echo "==> kernel dispatch tiers"
 if [ "$(go env GOARCH)" = "amd64" ]; then
-    asm_pat='AsmMatchesGo|ExportedKernelsMatchRefBothTiers|SetDispatchToggles|GoldenBERDispatchInvariant'
+    asm_pat='AsmMatchesGo|Exported.*KernelsMatchRefBothTiers|SetDispatchToggles|GoldenBER(Dispatch|SymbolMajor)Invariant'
     n="$(go test -run '^$' -list "$asm_pat" ./internal/kernels | grep -c '^Test' || true)"
-    if [ "$n" -lt 9 ]; then
+    if [ "$n" -lt 16 ]; then
         echo "FAIL: internal/kernels lists only $n asm-twin differential tests matching '$asm_pat' (silent skip)" >&2
         exit 1
     fi
@@ -174,12 +174,14 @@ trap - EXIT
 echo "==> allocation gates"
 go test -run 'AllocFree|TestFIRProcessSteadyStateAllocs|TestRestartAllocs' -count=1 \
     ./internal/phy ./internal/phy/viterbi ./internal/dsp ./internal/randutil
+go test -run 'TestPacketRunAllocBounded' -count=1 ./internal/core
 go test -run 'TestSweepExecutorBuffersPooled|TestSweepScratchPooledAcrossConcurrentExecutes' -count=1 ./internal/sim
 
 echo "==> benchmark smoke (1 iteration per scenario)"
 go test -run '^$' -bench 'BenchmarkPacketBehavioral|BenchmarkSweepExecutor|BenchmarkSweepFilterBW|BenchmarkPacketIdeal24|BenchmarkSweepBatched' -benchtime 1x ./internal/core > /dev/null
 go test -run '^$' -bench 'BenchmarkDecodeSoft' -benchtime 1x ./internal/phy/viterbi > /dev/null
-go test -run '^$' -bench 'BenchmarkFIRProcess|BenchmarkComplexFIRProcess|BenchmarkFFT|BenchmarkDFT' -benchtime 1x ./internal/dsp > /dev/null
+go test -run '^$' -bench 'BenchmarkFFTStage' -benchtime 1x ./internal/kernels > /dev/null
+go test -run '^$' -bench 'BenchmarkFIRProcess|BenchmarkComplexFIRProcess|BenchmarkFFT|BenchmarkDFT|BenchmarkIIRCascade3' -benchtime 1x ./internal/dsp > /dev/null
 go test -run '^$' -bench 'BenchmarkDemodulateSymbol|BenchmarkModulateSymbol' -benchtime 1x ./internal/phy > /dev/null
 go test -run '^$' -bench 'BenchmarkServiceJob' -benchtime 1x ./internal/service > /dev/null
 
@@ -188,7 +190,7 @@ go test -run '^$' -bench 'BenchmarkServiceJob' -benchtime 1x ./internal/service 
 # compares distributions; the median over 5+ samples is the shell-portable
 # analogue — unlike best-of-N it is robust to noise in both directions, and
 # unlike the mean one co-tenant spike cannot drag it) against the medians
-# recorded in BENCH_8.json, failing on a regression beyond the slack. A
+# recorded in the reference BENCH_*.json, failing on a regression beyond the slack. A
 # first failure triggers one escalation round with longer runs that decides
 # from its own samples alone — merging would keep round-one samples that a
 # transient co-tenant load spike already poisoned. The first
@@ -197,7 +199,7 @@ go test -run '^$' -bench 'BenchmarkServiceJob' -benchtime 1x ./internal/service 
 # near-constant ~10% above the recorded medians, which would eat the whole
 # slack budget. Tune with CHECK_BENCH_TIME and CHECK_BENCH_SLACK_PCT (see
 # the knobs above); CHECK_SKIP_BENCH=1 skips the gate entirely.
-bench_ref="BENCH_9.json"
+bench_ref="BENCH_10.json"
 echo "==> benchmark regression gate (vs $bench_ref, >${CHECK_BENCH_SLACK_PCT:-10}% fails)"
 if [ "${CHECK_SKIP_BENCH:-0}" = "1" ]; then
     echo "    CHECK_SKIP_BENCH=1; skipping"
